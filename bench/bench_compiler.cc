@@ -1,0 +1,121 @@
+// Compiler-pipeline benchmark (sanity, not a paper figure): the cost of
+// each stage of the stub compiler — parsing, PDL application, signature
+// derivation, marshal-program compilation, and C++ emission — plus the
+// per-call cost of the compiled marshal programs on the SysLog and NFS
+// workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/apps/nfs.h"
+#include "src/codegen/cpp_gen.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/idl/sunrpc_parser.h"
+#include "src/marshal/xdr.h"
+#include "src/pdl/apply.h"
+#include "src/sig/signature.h"
+
+namespace {
+
+void BM_ParseNfsIdl(benchmark::State& state) {
+  for (auto _ : state) {
+    flexrpc::DiagnosticSink diags;
+    auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+    benchmark::DoNotOptimize(idl);
+  }
+}
+
+void BM_AnalyzeAndPresent(benchmark::State& state) {
+  for (auto _ : state) {
+    flexrpc::DiagnosticSink diags;
+    auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+    (void)flexrpc::AnalyzeInterfaceFile(idl.get(), &diags);
+    flexrpc::PresentationSet pres;
+    (void)flexrpc::ApplyPdlText(*idl, flexrpc::Side::kClient,
+                                flexrpc::NfsClientPdlText(), "nfs.pdl",
+                                &pres, &diags);
+    benchmark::DoNotOptimize(pres);
+  }
+}
+
+void BM_BuildSignature(benchmark::State& state) {
+  flexrpc::DiagnosticSink diags;
+  auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+  (void)flexrpc::AnalyzeInterfaceFile(idl.get(), &diags);
+  for (auto _ : state) {
+    auto sig = flexrpc::BuildSignature(idl->interfaces[0]);
+    benchmark::DoNotOptimize(flexrpc::SignatureHash(sig));
+  }
+}
+
+void BM_BuildMarshalProgram(benchmark::State& state) {
+  flexrpc::DiagnosticSink diags;
+  auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+  (void)flexrpc::AnalyzeInterfaceFile(idl.get(), &diags);
+  flexrpc::PresentationSet pres;
+  (void)flexrpc::ApplyPdlText(*idl, flexrpc::Side::kClient,
+                              flexrpc::NfsClientPdlText(), "nfs.pdl",
+                              &pres, &diags);
+  const flexrpc::OperationDecl& op = idl->interfaces[0].ops[0];
+  const flexrpc::OpPresentation& op_pres =
+      *pres.Find("NFS_VERSION")->FindOp("NFSPROC_READ");
+  for (auto _ : state) {
+    auto prog = flexrpc::MarshalProgram::Build(op, op_pres);
+    benchmark::DoNotOptimize(prog.slot_count());
+  }
+}
+
+void BM_GenerateCpp(benchmark::State& state) {
+  flexrpc::DiagnosticSink diags;
+  auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+  (void)flexrpc::AnalyzeInterfaceFile(idl.get(), &diags);
+  flexrpc::PresentationSet client;
+  flexrpc::PresentationSet server;
+  (void)flexrpc::ApplyPdlText(*idl, flexrpc::Side::kClient,
+                              flexrpc::NfsClientPdlText(), "nfs.pdl",
+                              &client, &diags);
+  (void)flexrpc::ApplyPdl(*idl, flexrpc::Side::kServer, nullptr, &server,
+                          &diags);
+  flexrpc::CppGenOptions options;
+  options.header_name = "nfs.flexgen.h";
+  for (auto _ : state) {
+    auto generated = flexrpc::GenerateCpp(*idl, client, server, options);
+    benchmark::DoNotOptimize(generated->header.size());
+  }
+}
+
+void BM_MarshalNfsRequest(benchmark::State& state) {
+  flexrpc::DiagnosticSink diags;
+  auto idl = flexrpc::ParseSunRpc(flexrpc::NfsIdlText(), "nfs.x", &diags);
+  (void)flexrpc::AnalyzeInterfaceFile(idl.get(), &diags);
+  flexrpc::PresentationSet pres;
+  (void)flexrpc::ApplyPdlText(*idl, flexrpc::Side::kClient,
+                              flexrpc::NfsClientPdlText(), "nfs.pdl",
+                              &pres, &diags);
+  auto prog = flexrpc::MarshalProgram::Build(
+      idl->interfaces[0].ops[0],
+      *pres.Find("NFS_VERSION")->FindOp("NFSPROC_READ"));
+  uint8_t fh[32] = {};
+  flexrpc::ArgVec args(prog.slot_count());
+  args[prog.SlotOf("file")].set_ptr(fh);
+  args[prog.SlotOf("offset")].scalar = 0;
+  args[prog.SlotOf("count")].scalar = 8192;
+  args[prog.SlotOf("totalcount")].scalar = 8192;
+  for (auto _ : state) {
+    flexrpc::XdrWriter w;
+    (void)prog.MarshalRequest(args, &w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParseNfsIdl)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AnalyzeAndPresent)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildSignature)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildMarshalProgram)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GenerateCpp)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MarshalNfsRequest)->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

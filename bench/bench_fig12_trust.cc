@@ -1,0 +1,135 @@
+// Figure 12 — "Performance effect of varying trust parameters".
+//
+// Null RPC through the bind-time specialized (combination signature)
+// transport, for every combination of client trust × server trust in
+// {none, leaky, leaky+unprotected}. Relaxed trust removes register
+// save/clear/restore blocks from the threaded code.
+//
+// Paper results: ~30% improvement from the slowest (no trust) to the
+// fastest (full mutual trust) corner; the two server columns [leaky] and
+// [leaky, unprotected] are identical because trusting a client's
+// *correctness* requires no additional kernel work.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/ipc/threaded.h"
+#include "src/support/timing.h"
+
+namespace {
+
+using flexrpc::TrustLevel;
+
+const TrustLevel kLevels[] = {TrustLevel::kNone, TrustLevel::kLeaky,
+                              TrustLevel::kFull};
+const char* kLevelNames[] = {"none", "leaky", "leaky+unprot"};
+
+struct NullRig {
+  flexrpc::Kernel kernel;
+  std::unique_ptr<flexrpc::InterfaceFile> idl;
+  flexrpc::InterfaceSignature sig;
+  std::unique_ptr<flexrpc::SpecializedTransport> transport;
+  std::unique_ptr<flexrpc::BoundConnection> conn;
+
+  NullRig(TrustLevel client_trust, TrustLevel server_trust,
+          bool nonunique = false) {
+    flexrpc::DiagnosticSink diags;
+    idl = flexrpc::ParseCorbaIdl("interface Null { void ping(); };",
+                                 "null.idl", &diags);
+    if (idl == nullptr ||
+        !flexrpc::AnalyzeInterfaceFile(idl.get(), &diags)) {
+      std::abort();
+    }
+    sig = flexrpc::BuildSignature(idl->interfaces[0]);
+    transport = std::make_unique<flexrpc::SpecializedTransport>(&kernel);
+    flexrpc::Task* client = kernel.CreateTask("client");
+    flexrpc::Task* server = kernel.CreateTask("server");
+    flexrpc::PortName pn = kernel.CreatePort(server);
+    flexrpc::Port* port = *kernel.ResolvePort(server, pn);
+    (void)transport->RegisterServer(port, server, sig, server_trust,
+                                    [] {});
+    auto bound =
+        transport->BindClient(client, port, sig, client_trust, nonunique);
+    if (!bound.ok()) {
+      std::abort();
+    }
+    conn = std::move(*bound);
+  }
+
+  double NsPerCall(int calls) {
+    for (int i = 0; i < 5000; ++i) {
+      (void)conn->NullCall();
+    }
+    flexrpc::Stopwatch timer;
+    for (int i = 0; i < calls; ++i) {
+      (void)conn->NullCall();
+    }
+    return static_cast<double>(timer.ElapsedNanos()) / calls;
+  }
+};
+
+void BM_NullRpcTrust(benchmark::State& state) {
+  NullRig rig(kLevels[state.range(0)], kLevels[state.range(1)]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.conn->NullCall());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_NullRpcTrust)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Unit(benchmark::kNanosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using flexrpc_bench::PercentFaster;
+  using flexrpc_bench::PrintHeader;
+  using flexrpc_bench::PrintRule;
+
+  PrintHeader(
+      "Figure 12: null RPC latency under all trust combinations "
+      "(ns/call)");
+  constexpr int kCalls = 400000;
+  double table[3][3];
+  for (int c = 0; c < 3; ++c) {
+    for (int s = 0; s < 3; ++s) {
+      double best = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        NullRig rig(kLevels[c], kLevels[s]);
+        double ns = rig.NsPerCall(kCalls);
+        if (rep == 0 || ns < best) {
+          best = ns;
+        }
+      }
+      table[c][s] = best;
+    }
+  }
+  std::printf("%-16s", "client\\server");
+  for (const char* name : kLevelNames) {
+    std::printf("%14s", name);
+  }
+  std::printf("\n");
+  for (int c = 0; c < 3; ++c) {
+    std::printf("%-16s", kLevelNames[c]);
+    for (int s = 0; s < 3; ++s) {
+      std::printf("%14.1f", table[c][s]);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  std::printf("slowest (none/none) -> fastest (full/full): %.1f%% "
+              "improvement   (paper: ~30%%)\n",
+              PercentFaster(table[0][0], table[2][2]));
+  std::printf("server [leaky] vs [leaky, unprotected] columns: %.1f%% "
+              "apart   (paper: identical)\n",
+              (table[0][2] - table[0][1]) / table[0][1] * 100.0);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// §4.5 (text result) — "Relaxing Mach's unique-name requirement".
+//
+// Transfers a single port send right from one task to another, with the
+// standard unique-name semantics (reverse lookup, insert-or-increment,
+// refcount bookkeeping) and with the [nonunique] relaxed semantics (fresh
+// name, no reverse lookup).
+//
+// Paper result: 32.4 µs → 24.7 µs, a 24% reduction. Absolute numbers here
+// are orders of magnitude smaller (modern CPU vs 66 MHz PA-RISC); the
+// relative gap is the reproduced quantity.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/osim/kernel.h"
+#include "src/support/timing.h"
+
+namespace {
+
+// One transfer + release cycle, so the name table returns to its starting
+// state (steady-state measurement, no unbounded growth).
+double NsPerTransfer(bool nonunique, int calls) {
+  flexrpc::Kernel kernel;
+  flexrpc::Task* a = kernel.CreateTask("sender");
+  flexrpc::Task* b = kernel.CreateTask("receiver");
+  flexrpc::PortName recv = kernel.CreatePort(a);
+  flexrpc::PortName send = *kernel.MakeSendRight(a, recv, a);
+
+  for (int i = 0; i < 10000; ++i) {
+    flexrpc::PortName name = *kernel.TransferRight(a, send, b, nonunique);
+    (void)b->names().Release(name);
+  }
+  flexrpc::Stopwatch timer;
+  for (int i = 0; i < calls; ++i) {
+    flexrpc::PortName name = *kernel.TransferRight(a, send, b, nonunique);
+    (void)b->names().Release(name);
+  }
+  return static_cast<double>(timer.ElapsedNanos()) / calls;
+}
+
+void BM_PortTransfer(benchmark::State& state) {
+  bool nonunique = state.range(0) != 0;
+  flexrpc::Kernel kernel;
+  flexrpc::Task* a = kernel.CreateTask("sender");
+  flexrpc::Task* b = kernel.CreateTask("receiver");
+  flexrpc::PortName recv = kernel.CreatePort(a);
+  flexrpc::PortName send = *kernel.MakeSendRight(a, recv, a);
+  for (auto _ : state) {
+    flexrpc::PortName name = *kernel.TransferRight(a, send, b, nonunique);
+    (void)b->names().Release(name);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PortTransfer)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"nonunique"})
+    ->Unit(benchmark::kNanosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using flexrpc_bench::PercentFaster;
+  using flexrpc_bench::PrintHeader;
+  using flexrpc_bench::PrintRule;
+
+  PrintHeader(
+      "Port right transfer: unique-name semantics vs [nonunique] "
+      "(paper §4.5)");
+  constexpr int kCalls = 2000000;
+  double unique_ns = 0;
+  double nonunique_ns = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    double u = NsPerTransfer(false, kCalls);
+    double n = NsPerTransfer(true, kCalls);
+    if (rep == 0 || u < unique_ns) {
+      unique_ns = u;
+    }
+    if (rep == 0 || n < nonunique_ns) {
+      nonunique_ns = n;
+    }
+  }
+  std::printf("unique-name transfer:    %8.1f ns   (paper: 32.4 us)\n",
+              unique_ns);
+  std::printf("[nonunique] transfer:    %8.1f ns   (paper: 24.7 us)\n",
+              nonunique_ns);
+  PrintRule();
+  std::printf("reduction: %.1f%%   (paper: 24%%)\n",
+              PercentFaster(unique_ns, nonunique_ns));
+  return 0;
+}

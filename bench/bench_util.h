@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench binary prints a paper-shaped table (the rows/series of the
+// figure it reproduces) computed from real runs, and also registers
+// google-benchmark cases for the underlying micro-operations so standard
+// tooling (--benchmark_filter, JSON output) works too.
+
+#ifndef FLEXRPC_BENCH_BENCH_UTIL_H_
+#define FLEXRPC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flexrpc_bench {
+
+// An ASCII bar proportional to value/max (paper figures are bar charts).
+inline std::string Bar(double value, double max_value, int width = 40) {
+  if (max_value <= 0) {
+    return "";
+  }
+  int n = static_cast<int>(value / max_value * width + 0.5);
+  if (n > width) {
+    n = width;
+  }
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+inline void PrintRule() {
+  std::puts(
+      "-----------------------------------------------------------------"
+      "-----------");
+}
+
+inline void PrintHeader(const char* title) {
+  PrintRule();
+  std::printf("%s\n", title);
+  PrintRule();
+}
+
+inline double PercentFaster(double baseline, double improved) {
+  return (baseline - improved) / baseline * 100.0;
+}
+
+inline double PercentMore(double baseline, double improved) {
+  return (improved - baseline) / baseline * 100.0;
+}
+
+}  // namespace flexrpc_bench
+
+#endif  // FLEXRPC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,51 @@
+// NFS read demo (paper §4.1 / Figure 2): read an 8 MB file over simulated
+// 10 Mbit/s Ethernet with four client stub variants — {hand-coded,
+// generated} × {conventional kernel-buffer presentation, [special]
+// user-space buffer presentation} — and print the Figure 2 breakdown.
+
+#include <cstdio>
+
+#include "src/apps/nfs.h"
+
+int main() {
+  constexpr size_t kFileSize = 8u << 20;  // 8 MB, as in the paper
+  flexrpc::NfsFileServer server(kFileSize, /*seed=*/2026);
+  flexrpc::NfsClient client(&server, flexrpc::LinkModel(),
+                            flexrpc::RemoteServerModel());
+
+  std::printf("NFS read of an %zu MB file over simulated 10 Mbit/s "
+              "Ethernet\n\n",
+              kFileSize >> 20);
+  std::printf("%-38s %14s %14s\n", "stub variant", "client CPU (s)",
+              "net+server (s)");
+
+  struct Variant {
+    flexrpc::NfsClient::StubKind kind;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {flexrpc::NfsClient::StubKind::kHandConventional,
+       "hand-coded, kernel buffer"},
+      {flexrpc::NfsClient::StubKind::kGeneratedConventional,
+       "generated,  kernel buffer"},
+      {flexrpc::NfsClient::StubKind::kHandUserBuffer,
+       "hand-coded, [special] user buffer"},
+      {flexrpc::NfsClient::StubKind::kGeneratedUserBuffer,
+       "generated,  [special] user buffer"},
+  };
+  for (const Variant& v : variants) {
+    auto stats = client.ReadFile(v.kind);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", v.label,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-38s %14.4f %14.2f\n", v.label, stats->client_seconds,
+                stats->network_server_seconds);
+  }
+  std::printf(
+      "\nThe [special] presentation unmarshals straight into the user\n"
+      "buffer through the kernel's copyout routine, removing one full\n"
+      "copy of the file from the client's processing time (Figure 2).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Pipe-server demo (paper §4.2): a writer and a reader in separate
+// protection domains stream data through a pipe server task, once with the
+// default presentation and once with the [dealloc(never)] zero-copy read
+// presentation, printing throughput and the server-side copy counts.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/apps/pipe.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/support/timing.h"
+
+namespace {
+
+using flexrpc::PipeServerApp;
+
+double RunOnce(PipeServerApp::ReadPresentation pres, size_t total_bytes,
+               uint64_t* server_copies) {
+  flexrpc::Kernel kernel;
+  flexrpc::FastPath transport(&kernel);
+  flexrpc::DiagnosticSink diags;
+  auto idl = flexrpc::ParseCorbaIdl(flexrpc::PipeIdlText(), "pipe.idl",
+                                    &diags);
+  if (idl == nullptr ||
+      !flexrpc::AnalyzeInterfaceFile(idl.get(), &diags)) {
+    std::fprintf(stderr, "%s", diags.ToString().c_str());
+    return 0;
+  }
+  PipeServerApp app(&kernel, &transport, *idl, pres, 4096);
+
+  flexrpc::Task* writer = kernel.CreateTask("writer");
+  flexrpc::Task* reader = kernel.CreateTask("reader");
+  flexrpc::PresentationSet client_pres;
+  flexrpc::DiagnosticSink d2;
+  if (!flexrpc::ApplyPdl(*idl, flexrpc::Side::kClient, nullptr,
+                         &client_pres, &d2)) {
+    std::fprintf(stderr, "%s", d2.ToString().c_str());
+    return 0;
+  }
+  auto wconn = flexrpc::RpcConnection::Bind(
+      &kernel, &transport, writer, app.port(), app.server(),
+      idl->interfaces[0], *client_pres.Find("FileIO"));
+  auto rconn = flexrpc::RpcConnection::Bind(
+      &kernel, &transport, reader, app.port(), app.server(),
+      idl->interfaces[0], *client_pres.Find("FileIO"));
+  if (!wconn.ok() || !rconn.ok()) {
+    std::fprintf(stderr, "bind failed\n");
+    return 0;
+  }
+  const flexrpc::MarshalProgram* wprog = (*wconn)->ProgramFor("write");
+  const flexrpc::MarshalProgram* rprog = (*rconn)->ProgramFor("read");
+
+  std::vector<uint8_t> chunk(2048, 0xA5);
+  flexrpc::Stopwatch timer;
+  size_t written = 0;
+  size_t read = 0;
+  while (read < total_bytes) {
+    if (written < total_bytes) {
+      flexrpc::ArgVec args(wprog->slot_count());
+      args[wprog->SlotOf("data")].set_ptr(chunk.data());
+      args[wprog->SlotOf("data")].length =
+          static_cast<uint32_t>(chunk.size());
+      if (!(*wconn)->Call("write", &args).ok()) {
+        return 0;
+      }
+      written += args[wprog->result_slot()].scalar;
+    }
+    flexrpc::ArgVec args(rprog->slot_count());
+    args[rprog->SlotOf("count")].scalar = 2048;
+    if (!(*rconn)->Call("read", &args).ok()) {
+      return 0;
+    }
+    size_t got = args[rprog->result_slot()].length;
+    if (got > 0) {
+      reader->space().Free(args[rprog->result_slot()].ptr());
+    }
+    read += got;
+  }
+  double seconds = timer.ElapsedSeconds();
+  *server_copies = app.read_copies();
+  return static_cast<double>(total_bytes) / seconds / (1 << 20);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kTotal = 16u << 20;  // 16 MiB through the pipe
+  std::printf("pipe server demo: streaming %zu MiB writer -> pipe server "
+              "-> reader\n\n",
+              kTotal >> 20);
+  for (auto [pres, label] :
+       {std::pair{PipeServerApp::ReadPresentation::kDefault,
+                  "default presentation (server copies + move)"},
+        std::pair{PipeServerApp::ReadPresentation::kZeroCopy,
+                  "[dealloc(never)] presentation (zero server copies)"}}) {
+    uint64_t copies = 0;
+    double mibps = RunOnce(pres, kTotal, &copies);
+    std::printf("  %-50s %8.1f MiB/s  (server read-path copies: %llu)\n",
+                label, mibps, static_cast<unsigned long long>(copies));
+  }
+  std::printf("\nThe [dealloc(never)] server presentation returns pointers "
+              "straight into the\npipe's circular buffer, eliminating the "
+              "allocate+copy+free on every read\n(paper Figure 6).\n");
+  return 0;
+}

@@ -1,0 +1,395 @@
+#include "src/apps/nfs.h"
+
+#include <cstring>
+
+#include "src/idl/sema.h"
+#include "src/idl/sunrpc_parser.h"
+#include "src/marshal/layout.h"
+#include "src/marshal/xdr.h"
+#include "src/net/sunrpc.h"
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+const char* NfsIdlText() {
+  return R"(
+const NFS_MAXDATA = 8192;
+const NFS_FHSIZE = 32;
+
+enum nfsstat {
+  NFS_OK = 0,
+  NFSERR_PERM = 1,
+  NFSERR_NOENT = 2,
+  NFSERR_IO = 5,
+  NFSERR_STALE = 70
+};
+
+struct nfs_fh {
+  opaque data[NFS_FHSIZE];
+};
+
+struct fattr {
+  unsigned type;
+  unsigned mode;
+  unsigned nlink;
+  unsigned uid;
+  unsigned gid;
+  unsigned size;
+  unsigned blocksize;
+  unsigned rdev;
+  unsigned blocks;
+  unsigned fsid;
+  unsigned fileid;
+  unsigned atime;
+  unsigned mtime;
+  unsigned ctime;
+};
+
+struct readargs {
+  nfs_fh file;
+  unsigned offset;
+  unsigned count;
+  unsigned totalcount;
+};
+
+struct readokres {
+  fattr attributes;
+  opaque data<NFS_MAXDATA>;
+};
+
+union readres switch (nfsstat status) {
+  case NFS_OK:
+    readokres reply;
+  default:
+    void;
+};
+
+program NFS_PROGRAM {
+  version NFS_VERSION {
+    readres NFSPROC_READ(readargs) = 6;
+  } = 2;
+} = 100003;
+)";
+}
+
+const char* NfsClientPdlText() {
+  // Figure 1 of the paper, adapted to this PDL's resolved names.
+  return R"(
+    [comm_status] int NFSPROC_READ(nfs_fh *file,
+        unsigned offset, unsigned count, unsigned totalcount,
+        [special] user_data *data, fattr *attributes, nfsstat *status);
+  )";
+}
+
+namespace {
+
+constexpr uint32_t kFattrFieldCount = 14;
+
+// Native layout of readargs (checked against the type table in the ctor).
+struct NativeReadArgs {
+  uint8_t fh[kNfsFhSize];
+  uint32_t offset;
+  uint32_t count;
+  uint32_t totalcount;
+};
+static_assert(sizeof(NativeReadArgs) == 44);
+
+}  // namespace
+
+NfsFileServer::NfsFileServer(size_t file_size, uint64_t seed) {
+  content_.resize(file_size);
+  Rng rng(seed);
+  for (size_t i = 0; i < file_size; i += 8) {
+    uint64_t word = rng.NextU64();
+    size_t n = file_size - i < 8 ? file_size - i : 8;
+    std::memcpy(content_.data() + i, &word, n);
+  }
+}
+
+Status NfsFileServer::Handle(ByteSpan request, XdrWriter* reply) {
+  XdrReader r(request);
+  FLEXRPC_ASSIGN_OR_RETURN(SunRpcCall call, DecodeSunRpcCall(&r));
+  if (call.program != kNfsProgram || call.version != kNfsVersion) {
+    return NotFoundError("not an NFSv2 call");
+  }
+  if (call.procedure != kNfsProcRead) {
+    return UnimplementedError(
+        StrFormat("NFS procedure %u not implemented", call.procedure));
+  }
+  // readargs
+  FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* fh, r.GetBytes(kNfsFhSize));
+  (void)fh;
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t offset, r.GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t totalcount, r.GetU32());
+  (void)totalcount;
+
+  EncodeSunRpcReplySuccess(reply, call.xid);
+  if (offset >= content_.size()) {
+    reply->PutU32(5);  // NFSERR_IO: the paper's workload never reads past EOF
+    return Status::Ok();
+  }
+  uint32_t n = count;
+  if (n > kNfsMaxData) {
+    n = kNfsMaxData;
+  }
+  if (offset + n > content_.size()) {
+    n = static_cast<uint32_t>(content_.size() - offset);
+  }
+  reply->PutU32(0);  // NFS_OK
+  // fattr
+  uint32_t now = 0x5F000000;
+  uint32_t fattr[kFattrFieldCount] = {
+      /*type=*/1,     /*mode=*/0644, /*nlink=*/1,
+      /*uid=*/0,      /*gid=*/0,
+      /*size=*/static_cast<uint32_t>(content_.size()),
+      /*blocksize=*/8192,
+      /*rdev=*/0,
+      /*blocks=*/static_cast<uint32_t>((content_.size() + 511) / 512),
+      /*fsid=*/7,     /*fileid=*/42, /*atime=*/now,
+      /*mtime=*/now,  /*ctime=*/now};
+  for (uint32_t field : fattr) {
+    reply->PutU32(field);
+  }
+  // data<>
+  reply->PutU32(n);
+  reply->PutBytes(content_.data() + offset, n);
+  return Status::Ok();
+}
+
+NfsClient::NfsClient(NfsFileServer* server, LinkModel link,
+                     RemoteServerModel remote)
+    : server_(server), link_(link), remote_(remote) {
+  kernel_space_ = std::make_unique<AddressSpace>("nfs-kernel");
+  user_space_ = std::make_unique<AddressSpace>("nfs-user");
+
+  DiagnosticSink diags;
+  idl_ = ParseSunRpc(NfsIdlText(), "nfs.x", &diags);
+  if (idl_ == nullptr || !AnalyzeInterfaceFile(idl_.get(), &diags)) {
+    std::fprintf(stderr, "NFS IDL failed to compile:\n%s",
+                 diags.ToString().c_str());
+    std::abort();
+  }
+  if (!ApplyPdl(*idl_, Side::kClient, nullptr, &default_pres_, &diags) ||
+      !ApplyPdlText(*idl_, Side::kClient, NfsClientPdlText(), "nfs.pdl",
+                    &special_pres_, &diags)) {
+    std::fprintf(stderr, "NFS PDL failed to apply:\n%s",
+                 diags.ToString().c_str());
+    std::abort();
+  }
+  const InterfaceDecl* itf = idl_->FindInterface("NFS_VERSION");
+  const OperationDecl* op = itf->FindOp("NFSPROC_READ");
+  prog_default_ = std::make_unique<MarshalProgram>(MarshalProgram::Build(
+      *op, *default_pres_.Find("NFS_VERSION")->FindOp("NFSPROC_READ")));
+  prog_special_ = std::make_unique<MarshalProgram>(MarshalProgram::Build(
+      *op, *special_pres_.Find("NFS_VERSION")->FindOp("NFSPROC_READ")));
+  attr_storage_ = kernel_space_->arena().AllocateBlock(
+      idl_->types.FindNamed("fattr")->NativeSize());
+}
+
+NfsClient::~NfsClient() = default;
+
+Result<uint32_t> NfsClient::EncodeRequest(StubKind kind,
+                                          const ChunkArgs& chunk,
+                                          XdrWriter* w) {
+  switch (kind) {
+    case StubKind::kGeneratedConventional: {
+      NativeReadArgs native;
+      std::memcpy(native.fh, chunk.fh, kNfsFhSize);
+      native.offset = chunk.offset;
+      native.count = chunk.count;
+      native.totalcount = chunk.count;
+      ArgVec args(prog_default_->slot_count());
+      args[0].set_ptr(&native);
+      FLEXRPC_RETURN_IF_ERROR(prog_default_->MarshalRequest(args, w));
+      return 0u;
+    }
+    case StubKind::kGeneratedUserBuffer: {
+      ArgVec args(prog_special_->slot_count());
+      args[prog_special_->SlotOf("file")].set_ptr(chunk.fh);
+      args[prog_special_->SlotOf("offset")].scalar = chunk.offset;
+      args[prog_special_->SlotOf("count")].scalar = chunk.count;
+      args[prog_special_->SlotOf("totalcount")].scalar = chunk.count;
+      FLEXRPC_RETURN_IF_ERROR(prog_special_->MarshalRequest(args, w));
+      return 0u;
+    }
+    case StubKind::kHandConventional:
+    case StubKind::kHandUserBuffer: {
+      // The hand-coded stub: identical wire bytes, written out longhand.
+      w->PutBytes(chunk.fh, kNfsFhSize);
+      w->PutU32(chunk.offset);
+      w->PutU32(chunk.count);
+      w->PutU32(chunk.count);
+      return 0u;
+    }
+  }
+  return InternalError("unknown stub kind");
+}
+
+Result<uint32_t> NfsClient::DecodeReply(StubKind kind,
+                                        const ChunkArgs& chunk,
+                                        XdrReader* r) {
+  Arena* karena = &kernel_space_->arena();
+  switch (kind) {
+    case StubKind::kGeneratedConventional: {
+      // The stub unmarshals the readres union into kernel memory...
+      ArgVec args(prog_default_->slot_count());
+      FLEXRPC_RETURN_IF_ERROR(
+          prog_default_->UnmarshalReply(r, karena, &args));
+      auto* readres = static_cast<uint8_t*>(
+          args[prog_default_->result_slot()].ptr());
+      uint32_t status;
+      std::memcpy(&status, readres, sizeof(status));
+      uint32_t delivered = 0;
+      if (status == 0) {
+        const Type* readres_t = idl_->types.FindNamed("readres")->Resolve();
+        const Type* okres_t = idl_->types.FindNamed("readokres");
+        const uint8_t* okres = readres + UnionPayloadOffset(readres_t);
+        SeqRep data;
+        std::memcpy(&data, okres + NativeFieldOffset(okres_t, 1),
+                    sizeof(data));
+        // ...and the NFS client must copy it out to user space: the extra
+        // copy the [special] presentation eliminates.
+        FLEXRPC_RETURN_IF_ERROR(CopyToUser(user_space_.get(),
+                                           chunk.user_dest, data.buffer,
+                                           data.length));
+        delivered = data.length;
+      }
+      prog_default_->ReleaseReply(karena, &args);
+      if (status != 0) {
+        return DataLossError(StrFormat("NFS error %u", status));
+      }
+      return delivered;
+    }
+    case StubKind::kGeneratedUserBuffer: {
+      // Figure 1's stub: [special] routines unmarshal straight into the
+      // user buffer via the kernel's copyout.
+      SpecialOps special;
+      AddressSpace* user = user_space_.get();
+      special.copy_in = [user](void* dst, const uint8_t* src, size_t n) {
+        Status st = CopyToUser(user, dst, src, n);
+        if (!st.ok()) {
+          std::abort();  // simulation misconfiguration
+        }
+      };
+      ArgVec args(prog_special_->slot_count());
+      int data_slot = prog_special_->SlotOf("data");
+      args[data_slot].set_ptr(chunk.user_dest);
+      args[data_slot].capacity = chunk.count;
+      // fattr lands in a kernel-resident struct, as in the original stub.
+      args[prog_special_->SlotOf("attributes")].set_ptr(attr_storage_);
+      Status st =
+          prog_special_->UnmarshalReply(r, karena, &args, &special);
+      uint32_t status = static_cast<uint32_t>(
+          args[prog_special_->SlotOf("status")].scalar);
+      uint32_t delivered = args[data_slot].length;
+      FLEXRPC_RETURN_IF_ERROR(st);
+      if (status != 0) {
+        return DataLossError(StrFormat("NFS error %u", status));
+      }
+      return delivered;
+    }
+    case StubKind::kHandConventional: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t status, r->GetU32());
+      if (status != 0) {
+        return DataLossError(StrFormat("NFS error %u", status));
+      }
+      uint32_t fattr[kFattrFieldCount];
+      for (uint32_t& field : fattr) {
+        FLEXRPC_ASSIGN_OR_RETURN(field, r->GetU32());
+      }
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t len, r->GetU32());
+      FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
+      // Intermediate kernel buffer, then copyout: two copies.
+      void* staging = karena->AllocateBlock(len > 0 ? len : 1);
+      std::memcpy(staging, bytes, len);
+      Status st =
+          CopyToUser(user_space_.get(), chunk.user_dest, staging, len);
+      karena->FreeBlock(staging);
+      FLEXRPC_RETURN_IF_ERROR(st);
+      return len;
+    }
+    case StubKind::kHandUserBuffer: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t status, r->GetU32());
+      if (status != 0) {
+        return DataLossError(StrFormat("NFS error %u", status));
+      }
+      uint32_t fattr[kFattrFieldCount];
+      for (uint32_t& field : fattr) {
+        FLEXRPC_ASSIGN_OR_RETURN(field, r->GetU32());
+      }
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t len, r->GetU32());
+      FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
+      // Straight from the network buffer to user space: one copy.
+      FLEXRPC_RETURN_IF_ERROR(
+          CopyToUser(user_space_.get(), chunk.user_dest, bytes, len));
+      return len;
+    }
+  }
+  return InternalError("unknown stub kind");
+}
+
+Result<NfsClient::ReadStats> NfsClient::ReadFile(StubKind kind) {
+  ReadStats stats;
+  VirtualClock vclock;
+  size_t file_size = server_->file_size();
+  auto* user_buffer =
+      static_cast<uint8_t*>(user_space_->Allocate(file_size));
+  uint8_t fh[kNfsFhSize];
+  std::memset(fh, 0xFD, sizeof(fh));
+
+  double client_seconds = 0;
+  for (size_t offset = 0; offset < file_size; offset += kNfsMaxData) {
+    uint32_t count = static_cast<uint32_t>(
+        file_size - offset < kNfsMaxData ? file_size - offset
+                                         : kNfsMaxData);
+    ChunkArgs chunk{fh, static_cast<uint32_t>(offset), count,
+                    user_buffer + offset};
+    uint32_t xid = next_xid_++;
+
+    // --- client-side marshal (measured) ---
+    XdrWriter request;
+    Stopwatch encode_timer;
+    EncodeSunRpcCall(&request,
+                     SunRpcCall{xid, kNfsProgram, kNfsVersion,
+                                kNfsProcRead});
+    FLEXRPC_ASSIGN_OR_RETURN(uint32_t unused,
+                             EncodeRequest(kind, chunk, &request));
+    (void)unused;
+    client_seconds += encode_timer.ElapsedSeconds();
+
+    // --- network + remote server (modeled) ---
+    link_.Transfer(request.size(), &vclock);
+    remote_.Process(count, &vclock);
+    XdrWriter reply;
+    FLEXRPC_RETURN_IF_ERROR(server_->Handle(request.span(), &reply));
+    link_.Transfer(reply.size(), &vclock);
+
+    // --- client-side unmarshal + delivery (measured) ---
+    Stopwatch decode_timer;
+    XdrReader reader(reply.span());
+    FLEXRPC_RETURN_IF_ERROR(DecodeSunRpcReplySuccess(&reader, xid));
+    FLEXRPC_ASSIGN_OR_RETURN(uint32_t delivered,
+                             DecodeReply(kind, chunk, &reader));
+    client_seconds += decode_timer.ElapsedSeconds();
+
+    if (delivered != count) {
+      return DataLossError(
+          StrFormat("short read: wanted %u, got %u", count, delivered));
+    }
+    stats.bytes_read += delivered;
+    ++stats.rpc_calls;
+  }
+
+  // Verification (not timed): the user buffer must hold the file bytes.
+  if (std::memcmp(user_buffer, server_->content(), file_size) != 0) {
+    return DataLossError("file contents corrupted in transit");
+  }
+  user_space_->Free(user_buffer);
+  stats.client_seconds = client_seconds;
+  stats.network_server_seconds = vclock.now_seconds();
+  return stats;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,283 @@
+#include "src/apps/pipe.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+PipeBuffer::PipeBuffer(Arena* arena, size_t capacity)
+    : data_(static_cast<uint8_t*>(arena->Allocate(capacity))),
+      capacity_(capacity) {}
+
+size_t PipeBuffer::Write(const uint8_t* data, size_t len) {
+  size_t accept = len < space() ? len : space();
+  size_t tail = (head_ + size_) % capacity_;
+  size_t first = accept < capacity_ - tail ? accept : capacity_ - tail;
+  std::memcpy(data_ + tail, data, first);
+  std::memcpy(data_, data + first, accept - first);
+  size_ += accept;
+  return accept;
+}
+
+size_t PipeBuffer::Read(uint8_t* dst, size_t len) {
+  size_t deliver = len < size_ ? len : size_;
+  size_t first = deliver < capacity_ - head_ ? deliver : capacity_ - head_;
+  std::memcpy(dst, data_ + head_, first);
+  std::memcpy(dst + first, data_, deliver - first);
+  head_ = (head_ + deliver) % capacity_;
+  size_ -= deliver;
+  return deliver;
+}
+
+std::pair<const uint8_t*, size_t> PipeBuffer::Peek(size_t len) const {
+  size_t deliver = len < size_ ? len : size_;
+  size_t contiguous = capacity_ - head_;
+  if (deliver > contiguous) {
+    deliver = contiguous;  // short read at the wrap point
+  }
+  return {data_ + head_, deliver};
+}
+
+void PipeBuffer::Consume(size_t len) {
+  head_ = (head_ + len) % capacity_;
+  size_ -= len;
+}
+
+const char* PipeIdlText() {
+  return R"(
+    interface FileIO {
+      sequence<octet> read(in unsigned long count);
+      unsigned long write(in sequence<octet> data);
+    };
+  )";
+}
+
+PipeServerApp::PipeServerApp(Kernel* kernel, FastPath* transport,
+                             const InterfaceFile& idl,
+                             ReadPresentation read_pres,
+                             size_t pipe_capacity)
+    : idl_(&idl), read_pres_(read_pres) {
+  task_ = kernel->CreateTask("pipe-server");
+  DiagnosticSink diags;
+  const char* pdl = read_pres == ReadPresentation::kZeroCopy
+                        ? "FileIO_read()[dealloc(never)];"
+                        : "";
+  bool ok = pdl[0] == '\0'
+                ? ApplyPdl(idl, Side::kServer, nullptr, &presentation_,
+                           &diags)
+                : ApplyPdlText(idl, Side::kServer, pdl, "pipe.pdl",
+                               &presentation_, &diags);
+  if (!ok) {
+    std::fprintf(stderr, "pipe server PDL rejected:\n%s",
+                 diags.ToString().c_str());
+    std::abort();
+  }
+  pipe_ = std::make_unique<PipeBuffer>(&task_->space().arena(),
+                                       pipe_capacity);
+  server_ = std::make_unique<ServerObject>(
+      *idl.FindInterface("FileIO"), *presentation_.Find("FileIO"), task_);
+
+  server_->SetWork("write", [this](ArgVec* args, Arena*) {
+    ApplyPendingConsume();
+    const auto* data = static_cast<const uint8_t*>((*args)[0].ptr());
+    size_t accepted = pipe_->Write(data, (*args)[0].length);
+    (*args)[args->size() - 1].scalar = accepted;
+    return Status::Ok();
+  });
+
+  server_->SetWork("read", [this](ArgVec* args, Arena* arena) {
+    ApplyPendingConsume();
+    size_t count = static_cast<size_t>((*args)[0].scalar);
+    size_t result_slot = args->size() - 1;
+    if (read_pres_ == ReadPresentation::kZeroCopy) {
+      // [dealloc(never)]: hand the stub a pointer straight into the
+      // circular buffer; consume once the reply has been marshaled.
+      auto [ptr, len] = pipe_->Peek(count);
+      (*args)[result_slot].set_ptr(ptr);
+      (*args)[result_slot].length = static_cast<uint32_t>(len);
+      pending_consume_ = len;
+      return Status::Ok();
+    }
+    // Default move semantics: allocate, copy out, let the stub free.
+    size_t want = count < pipe_->available() ? count : pipe_->available();
+    auto* buf = static_cast<uint8_t*>(
+        arena->AllocateBlock(want > 0 ? want : 1));
+    size_t got = pipe_->Read(buf, want);
+    ++read_copies_;
+    (*args)[result_slot].set_ptr(buf);
+    (*args)[result_slot].length = static_cast<uint32_t>(got);
+    return Status::Ok();
+  });
+
+  port_ = ExportServer(kernel, transport, server_.get());
+}
+
+void PipeServerApp::ApplyPendingConsume() {
+  if (pending_consume_ > 0) {
+    pipe_->Consume(pending_consume_);
+    pending_consume_ = 0;
+  }
+}
+
+PipeServerFbuf::PipeServerFbuf(FbufChannel* channel, Presentation pres,
+                               Arena* server_arena, size_t pipe_capacity)
+    : channel_(channel), pres_(pres), arena_(server_arena),
+      capacity_(pipe_capacity) {
+  if (pres_ == Presentation::kStandard) {
+    pipe_ = std::make_unique<PipeBuffer>(server_arena, pipe_capacity);
+  }
+  channel_->Serve([this](uint32_t opnum, FbufAggregate* request,
+                         FbufAggregate* reply) {
+    return Handle(opnum, request, reply);
+  });
+}
+
+Status PipeServerFbuf::Handle(uint32_t opnum, FbufAggregate* request,
+                              FbufAggregate* reply) {
+  switch (opnum) {
+    case kOpWrite:
+      return HandleWrite(request, reply);
+    case kOpRead:
+      return HandleRead(request, reply);
+    default:
+      return NotFoundError(StrFormat("pipe server: unknown op %u", opnum));
+  }
+}
+
+Status PipeServerFbuf::HandleWrite(FbufAggregate* request,
+                                   FbufAggregate* reply) {
+  size_t len = request->size();
+  size_t accepted;
+  if (pres_ == Presentation::kSpecial) {
+    // [special]: keep the incoming data in its fbufs; just splice the
+    // aggregate onto the pipe queue. Zero copies.
+    size_t room = capacity_ - queue_.size();
+    if (len <= room) {
+      queue_.Splice(request);
+      accepted = len;
+    } else {
+      FLEXRPC_ASSIGN_OR_RETURN(FbufAggregate head,
+                               request->SplitPrefix(room));
+      queue_.Splice(&head);
+      accepted = room;
+    }
+  } else {
+    // Standard presentation: the stub unmarshals the sequence into a
+    // private buffer (copy 1), then the work function writes it into the
+    // circular buffer (copy 2).
+    auto* staged = static_cast<uint8_t*>(
+        arena_->AllocateBlock(len > 0 ? len : 1));
+    FLEXRPC_RETURN_IF_ERROR(request->CopyOut(0, staged, len));
+    ++server_copies_;
+    accepted = pipe_->Write(staged, len);
+    ++server_copies_;
+    arena_->FreeBlock(staged);
+  }
+  // Reply carries the accepted count in a small fbuf.
+  FLEXRPC_ASSIGN_OR_RETURN(Fbuf * header, channel_->pool().Allocate());
+  uint32_t accepted32 = static_cast<uint32_t>(accepted);
+  std::memcpy(header->data(), &accepted32, sizeof(accepted32));
+  reply->Append(header, 0, sizeof(accepted32));
+  header->Unref();  // the aggregate holds the reference now
+  return Status::Ok();
+}
+
+Status PipeServerFbuf::HandleRead(FbufAggregate* request,
+                                  FbufAggregate* reply) {
+  uint32_t count = 0;
+  FLEXRPC_RETURN_IF_ERROR(request->CopyOut(0, &count, sizeof(count)));
+  if (pres_ == Presentation::kSpecial) {
+    // Split the requested prefix off the queue: reference motion only.
+    size_t take = count < queue_.size() ? count : queue_.size();
+    FLEXRPC_ASSIGN_OR_RETURN(FbufAggregate data, queue_.SplitPrefix(take));
+    *reply = std::move(data);
+    return Status::Ok();
+  }
+  // Standard presentation: copy out of the circular buffer into a private
+  // reply buffer (copy 1), then marshal it into a reply fbuf (copy 2).
+  size_t want = count < pipe_->available() ? count : pipe_->available();
+  auto* staged =
+      static_cast<uint8_t*>(arena_->AllocateBlock(want > 0 ? want : 1));
+  size_t got = pipe_->Read(staged, want);
+  ++server_copies_;
+  size_t produced = 0;
+  while (produced < got) {
+    FLEXRPC_ASSIGN_OR_RETURN(Fbuf * fbuf, channel_->pool().Allocate());
+    size_t chunk = got - produced < fbuf->size() ? got - produced
+                                                 : fbuf->size();
+    std::memcpy(fbuf->data(), staged + produced, chunk);
+    ++server_copies_;
+    reply->Append(fbuf, 0, chunk);
+    fbuf->Unref();
+    produced += chunk;
+  }
+  arena_->FreeBlock(staged);
+  return Status::Ok();
+}
+
+Status FbufPipeWrite(FbufChannel* channel, const uint8_t* data, size_t len,
+                     size_t* accepted) {
+  // Standard client presentation: copy the user buffer into fbufs.
+  FbufAggregate request;
+  size_t produced = 0;
+  while (produced < len) {
+    FLEXRPC_ASSIGN_OR_RETURN(Fbuf * fbuf, channel->pool().Allocate());
+    size_t chunk =
+        len - produced < fbuf->size() ? len - produced : fbuf->size();
+    std::memcpy(fbuf->data(), data + produced, chunk);
+    request.Append(fbuf, 0, chunk);
+    fbuf->Unref();
+    produced += chunk;
+  }
+  FbufAggregate reply;
+  FLEXRPC_RETURN_IF_ERROR(channel->Call(PipeServerFbuf::kOpWrite,
+                                        std::move(request), &reply));
+  uint32_t accepted32 = 0;
+  FLEXRPC_RETURN_IF_ERROR(
+      reply.CopyOut(0, &accepted32, sizeof(accepted32)));
+  *accepted = accepted32;
+  return Status::Ok();
+}
+
+Status FbufPipeRead(FbufChannel* channel, uint8_t* dst, size_t len,
+                    size_t* delivered) {
+  FbufAggregate request;
+  FLEXRPC_ASSIGN_OR_RETURN(Fbuf * header, channel->pool().Allocate());
+  uint32_t count = static_cast<uint32_t>(len);
+  std::memcpy(header->data(), &count, sizeof(count));
+  request.Append(header, 0, sizeof(count));
+  header->Unref();
+
+  FbufAggregate reply;
+  FLEXRPC_RETURN_IF_ERROR(channel->Call(PipeServerFbuf::kOpRead,
+                                        std::move(request), &reply));
+  // Standard client presentation: copy the reply out of the fbufs.
+  FLEXRPC_RETURN_IF_ERROR(reply.CopyOut(0, dst, reply.size()));
+  *delivered = reply.size();
+  return Status::Ok();
+}
+
+MonolithicPipe::MonolithicPipe(Kernel* kernel, Arena* kernel_space,
+                               size_t capacity)
+    : kernel_(kernel), pipe_(kernel_space, capacity) {}
+
+size_t MonolithicPipe::Write(AddressSpace* writer_space,
+                             const uint8_t* user_data, size_t len) {
+  (void)writer_space;
+  kernel_->Trap();  // syscall entry
+  size_t accepted = pipe_.Write(user_data, len);  // the copyin
+  kernel_->Trap();  // syscall exit
+  return accepted;
+}
+
+size_t MonolithicPipe::Read(AddressSpace* reader_space, uint8_t* user_dst,
+                            size_t len) {
+  (void)reader_space;
+  kernel_->Trap();
+  size_t delivered = pipe_.Read(user_dst, len);  // the copyout
+  kernel_->Trap();
+  return delivered;
+}
+
+}  // namespace flexrpc

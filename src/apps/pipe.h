@@ -1,0 +1,160 @@
+// The pipe server (paper §4.2): Unix pipe semantics — bounded buffering,
+// flow control, FIFO byte delivery — provided by a separate task over
+// synchronous RPC. "Representative of a common model of communication: an
+// intermediate entity that performs a data transformation between two
+// parties."
+//
+// The interface (pipe.idl, a superset of the paper's Figure 3 that makes
+// flow control explicit):
+//
+//   interface FileIO {
+//     sequence<octet> read(in unsigned long count);
+//     unsigned long write(in sequence<octet> data);   // returns #accepted
+//   };
+//
+// Server read-path presentations (the Figure 6 comparison):
+//   * kDefault    — standard CORBA move semantics: the work function
+//     allocates a fresh buffer, copies the bytes out of the circular
+//     buffer into it, and the stub frees it after marshaling.
+//   * kZeroCopy   — [dealloc(never)]: the work function returns a pointer
+//     directly into the circular buffer; nothing is allocated, copied, or
+//     freed in the server. Reads that would wrap the circular buffer are
+//     returned short (the paper likewise leaves the wrap case unoptimized).
+
+#ifndef FLEXRPC_SRC_APPS_PIPE_H_
+#define FLEXRPC_SRC_APPS_PIPE_H_
+
+#include <memory>
+
+#include "src/fbuf/channel.h"
+#include "src/idl/ast.h"
+#include "src/pdl/apply.h"
+#include "src/rpc/runtime.h"
+
+namespace flexrpc {
+
+// The pipe state machine: a circular byte buffer with explicit flow
+// control. Pure logic; transport-independent.
+class PipeBuffer {
+ public:
+  PipeBuffer(Arena* arena, size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t available() const { return size_; }
+  size_t space() const { return capacity_ - size_; }
+
+  // Copies up to `len` bytes in; returns the number accepted (flow
+  // control: 0 when full).
+  size_t Write(const uint8_t* data, size_t len);
+
+  // Copies up to `len` buffered bytes out; returns the number delivered.
+  size_t Read(uint8_t* dst, size_t len);
+
+  // Zero-copy read: a contiguous view of up to `len` readable bytes
+  // (short at the wrap point). The view stays valid until Consume.
+  std::pair<const uint8_t*, size_t> Peek(size_t len) const;
+  void Consume(size_t len);
+
+ private:
+  uint8_t* data_;
+  size_t capacity_;
+  size_t head_ = 0;  // read position
+  size_t size_ = 0;  // bytes buffered
+};
+
+// Returns the pipe-server IDL text (shared by apps, tests, and examples).
+const char* PipeIdlText();
+
+// The pipe server bound to the fast-path transport.
+class PipeServerApp {
+ public:
+  enum class ReadPresentation { kDefault, kZeroCopy };
+
+  // `idl` must contain the FileIO interface (use PipeIdlText()).
+  // The returned object serves on `port()` once exported.
+  PipeServerApp(Kernel* kernel, FastPath* transport,
+                const InterfaceFile& idl, ReadPresentation read_pres,
+                size_t pipe_capacity);
+
+  Port* port() { return port_; }
+  Task* task() { return task_; }
+  const ServerObject& server() const { return *server_; }
+  const InterfaceFile& idl() const { return *idl_; }
+
+  // Copies performed by the server application + stub on the read path
+  // (Figure 6's measured difference).
+  uint64_t read_copies() const { return read_copies_; }
+
+ private:
+  void ApplyPendingConsume();
+
+  const InterfaceFile* idl_;
+  Task* task_;
+  PresentationSet presentation_;
+  std::unique_ptr<ServerObject> server_;
+  std::unique_ptr<PipeBuffer> pipe_;
+  Port* port_ = nullptr;
+  ReadPresentation read_pres_;
+  size_t pending_consume_ = 0;
+  uint64_t read_copies_ = 0;
+};
+
+// The pipe server over an fbuf data path (paper §4.3 / Figure 7).
+class PipeServerFbuf {
+ public:
+  enum class Presentation {
+    kStandard,  // stubs copy data between fbufs and private buffers
+    kSpecial,   // [special]: data stays in fbufs along the whole path
+  };
+
+  PipeServerFbuf(FbufChannel* channel, Presentation pres,
+                 Arena* server_arena, size_t pipe_capacity);
+
+  static constexpr uint32_t kOpWrite = 1;
+  static constexpr uint32_t kOpRead = 2;
+
+  uint64_t server_copies() const { return server_copies_; }
+
+ private:
+  Status Handle(uint32_t opnum, FbufAggregate* request,
+                FbufAggregate* reply);
+  Status HandleWrite(FbufAggregate* request, FbufAggregate* reply);
+  Status HandleRead(FbufAggregate* request, FbufAggregate* reply);
+
+  FbufChannel* channel_;
+  Presentation pres_;
+  Arena* arena_;
+  // kStandard: bytes live in the circular buffer.
+  std::unique_ptr<PipeBuffer> pipe_;
+  // kSpecial: bytes stay in fbufs, queued as one aggregate.
+  FbufAggregate queue_;
+  size_t capacity_;
+  uint64_t server_copies_ = 0;
+};
+
+// Client helpers for the fbuf pipe (standard presentation: one copy at
+// each endpoint to get data into/out of the fbufs).
+Status FbufPipeWrite(FbufChannel* channel, const uint8_t* data, size_t len,
+                     size_t* accepted);
+Status FbufPipeRead(FbufChannel* channel, uint8_t* dst, size_t len,
+                    size_t* delivered);
+
+// Reference point for Figure 7: a monolithic-kernel pipe (4.3BSD-like) in
+// which writer and reader trap into the same kernel and the pipe buffer
+// lives in kernel space: exactly one copyin and one copyout per byte.
+class MonolithicPipe {
+ public:
+  MonolithicPipe(Kernel* kernel, Arena* kernel_space, size_t capacity);
+
+  size_t Write(AddressSpace* writer_space, const uint8_t* user_data,
+               size_t len);
+  size_t Read(AddressSpace* reader_space, uint8_t* user_dst, size_t len);
+
+ private:
+  Kernel* kernel_;
+  PipeBuffer pipe_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_APPS_PIPE_H_

@@ -1,0 +1,52 @@
+// An RPC-capable channel over an fbuf data path.
+//
+// Control transfer uses the streamlined IPC path (two kernel traps and a
+// small control-message copy per call); bulk data rides in fbuf aggregates
+// that are handed over by reference. Used as the transport for the §4.3
+// experiments: with standard presentations the stubs copy user data into
+// and out of the aggregates at each endpoint (LRPC-like pairwise shared
+// memory); with a [special] presentation an endpoint operates on the
+// aggregates directly and the copies disappear.
+
+#ifndef FLEXRPC_SRC_FBUF_CHANNEL_H_
+#define FLEXRPC_SRC_FBUF_CHANNEL_H_
+
+#include <functional>
+
+#include "src/fbuf/fbuf.h"
+#include "src/osim/kernel.h"
+
+namespace flexrpc {
+
+class FbufChannel {
+ public:
+  // `shared` is the path's shared region; the pool is carved out of it.
+  FbufChannel(Kernel* kernel, Arena* shared, size_t fbuf_size, size_t count)
+      : kernel_(kernel), pool_("path", shared, fbuf_size, count) {}
+
+  FbufPool& pool() { return pool_; }
+
+  // The server end. The handler consumes `request` and fills `reply`.
+  using Handler = std::function<Status(uint32_t opnum,
+                                       FbufAggregate* request,
+                                       FbufAggregate* reply)>;
+  void Serve(Handler handler) { handler_ = std::move(handler); }
+
+  // Synchronous call: transfers `request` to the server by reference and
+  // returns its reply aggregate the same way.
+  Status Call(uint32_t opnum, FbufAggregate request, FbufAggregate* reply);
+
+  uint64_t calls() const { return calls_; }
+
+ private:
+  Kernel* kernel_;
+  FbufPool pool_;
+  Handler handler_;
+  uint64_t calls_ = 0;
+  uint8_t control_in_[32] = {};
+  uint8_t control_out_[32] = {};
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_FBUF_CHANNEL_H_

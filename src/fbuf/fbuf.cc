@@ -1,0 +1,178 @@
+#include "src/fbuf/fbuf.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+FbufPool::FbufPool(std::string name, Arena* shared, size_t fbuf_size,
+                   size_t count)
+    : name_(std::move(name)), fbuf_size_(fbuf_size) {
+  all_.reserve(count);
+  free_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto fbuf = std::unique_ptr<Fbuf>(new Fbuf());
+    fbuf->data_ = static_cast<uint8_t*>(
+        shared->Allocate(fbuf_size, /*align=*/64));
+    fbuf->size_ = fbuf_size;
+    fbuf->pool_ = this;
+    free_.push_back(fbuf.get());
+    all_.push_back(std::move(fbuf));
+  }
+}
+
+Result<Fbuf*> FbufPool::Allocate(bool volatile_buf) {
+  if (free_.empty()) {
+    ++exhaustions_;
+    return ResourceExhaustedError(
+        StrFormat("fbuf pool '%s' exhausted (%zu buffers in use)",
+                  name_.c_str(), in_use()));
+  }
+  Fbuf* fbuf = free_.back();
+  free_.pop_back();
+  fbuf->refs_ = 1;
+  fbuf->volatile_ = volatile_buf;
+  ++allocations_;
+  return fbuf;
+}
+
+void FbufPool::Release(Fbuf* fbuf) {
+  free_.push_back(fbuf);
+}
+
+FbufAggregate::FbufAggregate(FbufAggregate&& other) noexcept
+    : segments_(std::move(other.segments_)),
+      total_bytes_(other.total_bytes_) {
+  other.segments_.clear();
+  other.total_bytes_ = 0;
+}
+
+FbufAggregate& FbufAggregate::operator=(FbufAggregate&& other) noexcept {
+  if (this != &other) {
+    Clear();
+    segments_ = std::move(other.segments_);
+    total_bytes_ = other.total_bytes_;
+    other.segments_.clear();
+    other.total_bytes_ = 0;
+  }
+  return *this;
+}
+
+void FbufAggregate::Append(Fbuf* fbuf, size_t offset, size_t length) {
+  if (length == 0) {
+    return;
+  }
+  fbuf->Ref();
+  segments_.push_back(Segment{fbuf, offset, length});
+  total_bytes_ += length;
+}
+
+void FbufAggregate::Splice(FbufAggregate* other) {
+  // References move with the segments: no ref traffic, no data movement.
+  for (const Segment& seg : other->segments_) {
+    segments_.push_back(seg);
+  }
+  total_bytes_ += other->total_bytes_;
+  other->segments_.clear();
+  other->total_bytes_ = 0;
+}
+
+Result<FbufAggregate> FbufAggregate::SplitPrefix(size_t bytes) {
+  if (bytes > total_bytes_) {
+    return OutOfRangeError(
+        StrFormat("split of %zu bytes from a %zu-byte aggregate", bytes,
+                  total_bytes_));
+  }
+  FbufAggregate prefix;
+  size_t remaining = bytes;
+  size_t consumed_segments = 0;
+  for (Segment& seg : segments_) {
+    if (remaining == 0) {
+      break;
+    }
+    if (seg.length <= remaining) {
+      // Whole segment moves: transfer the reference.
+      prefix.segments_.push_back(seg);
+      prefix.total_bytes_ += seg.length;
+      remaining -= seg.length;
+      ++consumed_segments;
+    } else {
+      // Split within the segment: the prefix takes a new reference on the
+      // shared fbuf; this aggregate keeps the tail.
+      prefix.Append(seg.fbuf, seg.offset, remaining);
+      seg.offset += remaining;
+      seg.length -= remaining;
+      remaining = 0;
+    }
+  }
+  segments_.erase(segments_.begin(),
+                  segments_.begin() + static_cast<long>(consumed_segments));
+  total_bytes_ -= bytes;
+  return prefix;
+}
+
+Status FbufAggregate::CopyOut(size_t offset, void* dst,
+                              size_t length) const {
+  if (offset + length > total_bytes_) {
+    return OutOfRangeError("CopyOut past end of aggregate");
+  }
+  auto* out = static_cast<uint8_t*>(dst);
+  size_t skip = offset;
+  size_t want = length;
+  for (const Segment& seg : segments_) {
+    if (want == 0) {
+      break;
+    }
+    if (skip >= seg.length) {
+      skip -= seg.length;
+      continue;
+    }
+    size_t take = seg.length - skip;
+    if (take > want) {
+      take = want;
+    }
+    std::memcpy(out, seg.fbuf->data() + seg.offset + skip, take);
+    out += take;
+    want -= take;
+    skip = 0;
+  }
+  return Status::Ok();
+}
+
+Status FbufAggregate::CopyIn(size_t offset, const void* src, size_t length) {
+  if (offset + length > total_bytes_) {
+    return OutOfRangeError("CopyIn past end of aggregate");
+  }
+  const auto* in = static_cast<const uint8_t*>(src);
+  size_t skip = offset;
+  size_t want = length;
+  for (Segment& seg : segments_) {
+    if (want == 0) {
+      break;
+    }
+    if (skip >= seg.length) {
+      skip -= seg.length;
+      continue;
+    }
+    size_t take = seg.length - skip;
+    if (take > want) {
+      take = want;
+    }
+    std::memcpy(seg.fbuf->data() + seg.offset + skip, in, take);
+    in += take;
+    want -= take;
+    skip = 0;
+  }
+  return Status::Ok();
+}
+
+void FbufAggregate::Clear() {
+  for (Segment& seg : segments_) {
+    seg.fbuf->Unref();
+  }
+  segments_.clear();
+  total_bytes_ = 0;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,146 @@
+// Fast buffers (fbufs) — a user-level reimplementation of Druschel &
+// Peterson's high-bandwidth cross-domain transfer facility, as the paper's
+// §4.3 describes ("implements all of the fbuf creation and manipulation
+// facilities in user space").
+//
+// An FbufPool belongs to one *data path* (a semi-fixed producer→…→consumer
+// chain) and hands out fixed-size buffers from memory every domain on the
+// path can see. Data placed in an fbuf travels the whole path without
+// copying or remapping; complex messages are composed and split by splicing
+// *aggregates* — ordered lists of (fbuf, offset, length) segments — rather
+// than moving bytes.
+//
+// Constraints faithfully kept from the original design:
+//   * producers must generate data into pool buffers (no arbitrary
+//     pointers), which is exactly why a conventional RPC presentation
+//     needs a copy at each endpoint and a [special] presentation does not;
+//   * volatile fbufs may still be observed by earlier domains on the path,
+//     so consumers must not assume exclusive access until the path quiesces.
+
+#ifndef FLEXRPC_SRC_FBUF_FBUF_H_
+#define FLEXRPC_SRC_FBUF_FBUF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/arena.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+class FbufPool;
+
+// One fast buffer. Reference-counted: aggregates and application code take
+// references; the buffer returns to its pool when the count drops to zero.
+class Fbuf {
+ public:
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  uint32_t refs() const { return refs_; }
+  bool is_volatile() const { return volatile_; }
+  FbufPool* pool() const { return pool_; }
+
+  void Ref() { ++refs_; }
+  // Declared in-line with pool release semantics; see FbufPool::Release.
+  void Unref();
+
+ private:
+  friend class FbufPool;
+  Fbuf() = default;
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t refs_ = 0;
+  bool volatile_ = false;
+  FbufPool* pool_ = nullptr;
+};
+
+// A pool of equally-sized fbufs backed by one shared arena.
+class FbufPool {
+ public:
+  // `shared` is the memory region mapped into every domain on the path.
+  FbufPool(std::string name, Arena* shared, size_t fbuf_size, size_t count);
+
+  FbufPool(const FbufPool&) = delete;
+  FbufPool& operator=(const FbufPool&) = delete;
+
+  // Allocates a buffer with one reference. `volatile_buf` marks it as a
+  // volatile fbuf (the sender retains access while consumers process it —
+  // the optimization §1 of the paper cites).
+  Result<Fbuf*> Allocate(bool volatile_buf = false);
+
+  // Returns a buffer to the free list (called from Fbuf::Unref).
+  void Release(Fbuf* fbuf);
+
+  size_t fbuf_size() const { return fbuf_size_; }
+  size_t capacity() const { return all_.size(); }
+  size_t free_count() const { return free_.size(); }
+  size_t in_use() const { return capacity() - free_count(); }
+  uint64_t allocations() const { return allocations_; }
+  uint64_t exhaustions() const { return exhaustions_; }
+
+ private:
+  std::string name_;
+  size_t fbuf_size_;
+  std::vector<std::unique_ptr<Fbuf>> all_;
+  std::vector<Fbuf*> free_;
+  uint64_t allocations_ = 0;
+  uint64_t exhaustions_ = 0;
+};
+
+inline void Fbuf::Unref() {
+  if (--refs_ == 0) {
+    pool_->Release(this);
+  }
+}
+
+// An ordered list of fbuf segments forming one logical byte stream.
+// Aggregates own references on their segments' fbufs.
+class FbufAggregate {
+ public:
+  FbufAggregate() = default;
+  ~FbufAggregate() { Clear(); }
+
+  FbufAggregate(const FbufAggregate&) = delete;
+  FbufAggregate& operator=(const FbufAggregate&) = delete;
+  FbufAggregate(FbufAggregate&& other) noexcept;
+  FbufAggregate& operator=(FbufAggregate&& other) noexcept;
+
+  struct Segment {
+    Fbuf* fbuf = nullptr;
+    size_t offset = 0;
+    size_t length = 0;
+  };
+
+  // Appends `length` bytes of `fbuf` starting at `offset` (takes a ref).
+  void Append(Fbuf* fbuf, size_t offset, size_t length);
+
+  // Splices all of `other`'s segments onto the tail (O(segments), no data
+  // movement); `other` is drained.
+  void Splice(FbufAggregate* other);
+
+  // Removes the first `bytes` bytes into a new aggregate (the pipe-read
+  // operation). Fails if the aggregate holds fewer bytes.
+  Result<FbufAggregate> SplitPrefix(size_t bytes);
+
+  // Copies bytes out of / into the logical stream (the endpoint copies a
+  // *conventional* presentation performs).
+  Status CopyOut(size_t offset, void* dst, size_t length) const;
+  Status CopyIn(size_t offset, const void* src, size_t length);
+
+  size_t size() const { return total_bytes_; }
+  size_t segment_count() const { return segments_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  void Clear();
+
+ private:
+  std::vector<Segment> segments_;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_FBUF_FBUF_H_

@@ -1,0 +1,17 @@
+#include "src/idl/ast.h"
+
+namespace flexrpc {
+
+std::string_view ParamDirName(ParamDir dir) {
+  switch (dir) {
+    case ParamDir::kIn:
+      return "in";
+    case ParamDir::kOut:
+      return "out";
+    case ParamDir::kInOut:
+      return "inout";
+  }
+  return "?";
+}
+
+}  // namespace flexrpc

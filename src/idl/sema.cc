@@ -1,0 +1,187 @@
+#include "src/idl/sema.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+class Analyzer {
+ public:
+  Analyzer(InterfaceFile* file, DiagnosticSink* diags)
+      : file_(file), diags_(diags) {}
+
+  bool Run() {
+    CheckDuplicateInterfaces();
+    FlattenInheritance();
+    for (const InterfaceDecl& itf : file_->interfaces) {
+      CheckInterface(itf);
+    }
+    return !diags_->HasErrors();
+  }
+
+ private:
+  void Error(SourcePos pos, std::string message) {
+    diags_->Error(file_->filename, pos, std::move(message));
+  }
+
+  void CheckDuplicateInterfaces() {
+    std::unordered_set<std::string> seen;
+    for (const InterfaceDecl& itf : file_->interfaces) {
+      if (!seen.insert(itf.name).second) {
+        Error(itf.pos,
+              StrFormat("duplicate interface '%s'", itf.name.c_str()));
+      }
+    }
+  }
+
+  // Copies base-interface operations (recursively) ahead of each derived
+  // interface's own operations, renumbering all opnums to keep them unique.
+  // Works against a snapshot of the original declarations so that diamond
+  // bases contribute exactly once even after earlier interfaces in the file
+  // have already been flattened in place.
+  void FlattenInheritance() {
+    std::vector<InterfaceDecl> snapshot = file_->interfaces;
+    std::unordered_map<std::string, const InterfaceDecl*> by_name;
+    for (const InterfaceDecl& itf : snapshot) {
+      by_name[itf.name] = &itf;
+    }
+    for (InterfaceDecl& itf : file_->interfaces) {
+      if (itf.bases.empty()) {
+        continue;
+      }
+      std::vector<OperationDecl> flattened;
+      std::set<std::string> visited;
+      bool ok = true;
+      for (const std::string& base : itf.bases) {
+        ok = CollectBaseOps(base, itf, by_name, &visited, &flattened) && ok;
+      }
+      if (!ok) {
+        continue;
+      }
+      for (OperationDecl& op : itf.ops) {
+        flattened.push_back(std::move(op));
+      }
+      for (size_t i = 0; i < flattened.size(); ++i) {
+        flattened[i].opnum = static_cast<uint32_t>(i);
+      }
+      itf.ops = std::move(flattened);
+      itf.bases.clear();
+    }
+  }
+
+  bool CollectBaseOps(
+      const std::string& base_name, const InterfaceDecl& derived,
+      const std::unordered_map<std::string, const InterfaceDecl*>& by_name,
+      std::set<std::string>* visited, std::vector<OperationDecl>* out) {
+    if (base_name == derived.name) {
+      Error(derived.pos, StrFormat("interface '%s' inherits from itself",
+                                   derived.name.c_str()));
+      return false;
+    }
+    if (!visited->insert(base_name).second) {
+      return true;  // diamond inheritance: each base contributes once
+    }
+    auto it = by_name.find(base_name);
+    if (it == by_name.end()) {
+      Error(derived.pos, StrFormat("unknown base interface '%s'",
+                                   base_name.c_str()));
+      return false;
+    }
+    const InterfaceDecl* base = it->second;
+    bool ok = true;
+    for (const std::string& grand : base->bases) {
+      ok = CollectBaseOps(grand, derived, by_name, visited, out) && ok;
+    }
+    for (const OperationDecl& op : base->ops) {
+      out->push_back(op);
+    }
+    return ok;
+  }
+
+  void CheckInterface(const InterfaceDecl& itf) {
+    std::unordered_set<std::string> op_names;
+    std::unordered_set<uint32_t> op_numbers;
+    for (const OperationDecl& op : itf.ops) {
+      if (!op_names.insert(op.name).second) {
+        Error(op.pos, StrFormat("duplicate operation '%s' in interface '%s'",
+                                op.name.c_str(), itf.name.c_str()));
+      }
+      if (!op_numbers.insert(op.opnum).second) {
+        Error(op.pos,
+              StrFormat("duplicate procedure number %u in interface '%s'",
+                        op.opnum, itf.name.c_str()));
+      }
+      CheckOperation(itf, op);
+    }
+  }
+
+  void CheckOperation(const InterfaceDecl& itf, const OperationDecl& op) {
+    std::unordered_set<std::string> param_names;
+    for (const ParamDecl& param : op.params) {
+      if (!param_names.insert(param.name).second) {
+        Error(param.pos,
+              StrFormat("duplicate parameter '%s' in operation '%s::%s'",
+                        param.name.c_str(), itf.name.c_str(),
+                        op.name.c_str()));
+      }
+      if (param.type->Resolve()->kind() == TypeKind::kVoid) {
+        Error(param.pos,
+              StrFormat("parameter '%s' may not have type void",
+                        param.name.c_str()));
+      }
+      CheckValueType(param.type, param.pos, {});
+    }
+    if (op.result != nullptr) {
+      CheckValueType(op.result, op.pos, {});
+    }
+  }
+
+  // Rejects by-value recursion: a struct/union that (transitively) contains
+  // itself by value has no finite wire size.
+  void CheckValueType(const Type* type, SourcePos pos,
+                      std::set<const Type*> active) {
+    const Type* resolved = type->Resolve();
+    if (!active.insert(resolved).second) {
+      Error(pos, StrFormat("type '%s' recursively contains itself by value",
+                           resolved->ToString().c_str()));
+      return;
+    }
+    switch (resolved->kind()) {
+      case TypeKind::kSequence:
+      case TypeKind::kArray:
+        CheckValueType(resolved->element(), pos, active);
+        break;
+      case TypeKind::kStruct:
+        for (const StructField& f : resolved->fields()) {
+          CheckValueType(f.type, pos, active);
+        }
+        break;
+      case TypeKind::kUnion:
+        for (const UnionArm& arm : resolved->arms()) {
+          if (arm.type->Resolve()->kind() != TypeKind::kVoid) {
+            CheckValueType(arm.type, pos, active);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  InterfaceFile* file_;
+  DiagnosticSink* diags_;
+};
+
+}  // namespace
+
+bool AnalyzeInterfaceFile(InterfaceFile* file, DiagnosticSink* diags) {
+  return Analyzer(file, diags).Run();
+}
+
+}  // namespace flexrpc

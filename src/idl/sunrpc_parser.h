@@ -1,0 +1,29 @@
+// Sun RPC language (rpcgen ".x") front-end.
+//
+// Parses the RPC-language subset needed for Sun RPC services like NFS:
+// program/version blocks, struct/enum/union/typedef/const declarations,
+// `opaque` fixed and variable-length data, bounded strings, and procedure
+// declarations with explicit procedure numbers. Each `version` block becomes
+// one InterfaceDecl carrying its program and version numbers.
+
+#ifndef FLEXRPC_SRC_IDL_SUNRPC_PARSER_H_
+#define FLEXRPC_SRC_IDL_SUNRPC_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/idl/ast.h"
+#include "src/support/diag.h"
+
+namespace flexrpc {
+
+// Parses Sun RPC language text into an InterfaceFile. Returns null and
+// reports to `diags` on error.
+std::unique_ptr<InterfaceFile> ParseSunRpc(std::string_view source,
+                                           std::string filename,
+                                           DiagnosticSink* diags);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_IDL_SUNRPC_PARSER_H_

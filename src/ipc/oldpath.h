@@ -1,0 +1,65 @@
+// The traditional typed-message IPC path (Mach 3.0 style), kept as the
+// baseline the paper's streamlined path is compared against
+// (bench_ablate_fastpath).
+//
+// Compared to FastPath, every message:
+//   * carries a header and one typed descriptor per data item, each of
+//     which the kernel parses and validates,
+//   * passes through an intermediate kernel buffer (two copies per
+//     direction instead of one),
+//   * translates both the destination and the reply port name through the
+//     full unique-name machinery on every call.
+
+#ifndef FLEXRPC_SRC_IPC_OLDPATH_H_
+#define FLEXRPC_SRC_IPC_OLDPATH_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ipc/fastpath.h"
+#include "src/osim/kernel.h"
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// One typed item of a traditional message body.
+struct TypedItem {
+  uint32_t type_code = 0;   // MACH_MSG_TYPE_* analogue
+  uint32_t item_bytes = 0;  // payload bytes described by this descriptor
+};
+
+class OldPath {
+ public:
+  explicit OldPath(Kernel* kernel) : kernel_(kernel) {}
+
+  void Serve(Port* port, Task* server, FastHandler handler);
+
+  // Synchronous RPC with typed descriptors covering `request`. The item
+  // list must describe exactly request.size() bytes.
+  Status Call(Task* client, Port* port, PortName reply_port_name,
+              ByteSpan request, const std::vector<TypedItem>& items,
+              void** reply, size_t* reply_size);
+
+  uint64_t calls() const { return calls_; }
+  uint64_t bytes_copied() const { return bytes_copied_; }
+  uint64_t descriptors_processed() const { return descriptors_processed_; }
+
+ private:
+  struct Endpoint {
+    Task* server = nullptr;
+    FastHandler handler;
+  };
+
+  Kernel* kernel_;
+  std::unordered_map<const Port*, Endpoint> endpoints_;
+  std::vector<uint8_t> kernel_buffer_;
+  uint64_t calls_ = 0;
+  uint64_t bytes_copied_ = 0;
+  uint64_t descriptors_processed_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_IPC_OLDPATH_H_

@@ -1,0 +1,62 @@
+// Simulated CPU register file and the save/clear/restore blocks the
+// trust-specialized IPC path threads together (paper §4.5, Figure 12).
+//
+// The paper's mechanism varies how much register state the kernel must
+// save (integrity protection), clear (confidentiality protection), and
+// restore on an RPC, depending on the trust each side declared. Here the
+// register file is a real memory object and the blocks perform real loads
+// and stores, so relative costs scale the way the paper's do.
+
+#ifndef FLEXRPC_SRC_IPC_REGISTER_FILE_H_
+#define FLEXRPC_SRC_IPC_REGISTER_FILE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace flexrpc {
+
+class RegisterFile {
+ public:
+  static constexpr size_t kRegisterCount = 32;
+  // Registers the kernel preserves across an RPC when the client does not
+  // fully trust the server (callee-saved set).
+  static constexpr size_t kCalleeSaved = 16;
+  // Registers that may hold residual client data and must be cleared when
+  // the client does not trust the server's confidentiality (scratch set).
+  static constexpr size_t kScratch = 16;
+
+  uint64_t& reg(size_t i) { return regs_[i]; }
+  const uint64_t& reg(size_t i) const { return regs_[i]; }
+
+  // Spills the first `count` registers into `save_area` (count*8 bytes).
+  void Save(size_t count, uint64_t* save_area) {
+    std::memcpy(save_area, regs_, count * sizeof(uint64_t));
+    Clobber();
+  }
+
+  void Restore(size_t count, const uint64_t* save_area) {
+    std::memcpy(regs_, save_area, count * sizeof(uint64_t));
+    Clobber();
+  }
+
+  // Zeroes the scratch window starting at `first`.
+  void Clear(size_t first, size_t count) {
+    std::memset(regs_ + first, 0, count * sizeof(uint64_t));
+    Clobber();
+  }
+
+  void FillPattern(uint64_t seed) {
+    for (size_t i = 0; i < kRegisterCount; ++i) {
+      regs_[i] = seed + i;
+    }
+  }
+
+ private:
+  void Clobber() { asm volatile("" : : "r"(regs_) : "memory"); }
+
+  uint64_t regs_[kRegisterCount] = {};
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_IPC_REGISTER_FILE_H_

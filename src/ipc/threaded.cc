@@ -1,0 +1,169 @@
+#include "src/ipc/threaded.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+std::string_view TOpName(TOpCode code) {
+  switch (code) {
+    case TOpCode::kTrap:
+      return "trap";
+    case TOpCode::kSaveRegs:
+      return "save-regs";
+    case TOpCode::kClearRegs:
+      return "clear-regs";
+    case TOpCode::kRestoreRegs:
+      return "restore-regs";
+    case TOpCode::kSwitchSpace:
+      return "switch-space";
+    case TOpCode::kCopyMessage:
+      return "copy-message";
+    case TOpCode::kTranslateReplyPortUnique:
+      return "translate-reply-port";
+    case TOpCode::kTranslateReplyPortNonUnique:
+      return "translate-reply-port-nonunique";
+    case TOpCode::kReleaseReplyPort:
+      return "release-reply-port";
+    case TOpCode::kInvokeServer:
+      return "invoke-server";
+  }
+  return "?";
+}
+
+std::vector<ThreadedOp> AssembleCombination(TrustLevel client_trust,
+                                            TrustLevel server_trust,
+                                            bool nonunique_reply_port,
+                                            uint32_t message_bytes) {
+  std::vector<ThreadedOp> ops;
+  // --- call path ---
+  ops.push_back({TOpCode::kTrap, 0});
+  if (client_trust != TrustLevel::kFull) {
+    // The client wants its register state protected from server damage.
+    ops.push_back({TOpCode::kSaveRegs, RegisterFile::kCalleeSaved});
+  }
+  if (client_trust == TrustLevel::kNone) {
+    // The client wants no data leaking to the server through scratch regs.
+    ops.push_back({TOpCode::kClearRegs, RegisterFile::kScratch});
+  }
+  ops.push_back({nonunique_reply_port
+                     ? TOpCode::kTranslateReplyPortNonUnique
+                     : TOpCode::kTranslateReplyPortUnique,
+                 0});
+  ops.push_back({TOpCode::kSwitchSpace, 0});
+  ops.push_back({TOpCode::kCopyMessage, message_bytes});
+  ops.push_back({TOpCode::kInvokeServer, 0});
+  // --- reply path ---
+  ops.push_back({TOpCode::kReleaseReplyPort, 0});
+  if (server_trust == TrustLevel::kNone) {
+    // The server wants no data leaking back to the client. Note that a
+    // server declaring [leaky, unprotected] gets exactly the [leaky]
+    // program: trusting the client's *correctness* needs no extra work.
+    ops.push_back({TOpCode::kClearRegs, RegisterFile::kScratch});
+  }
+  ops.push_back({TOpCode::kSwitchSpace, 0});
+  ops.push_back({TOpCode::kCopyMessage, message_bytes});
+  if (client_trust != TrustLevel::kFull) {
+    ops.push_back({TOpCode::kRestoreRegs, RegisterFile::kCalleeSaved});
+  }
+  ops.push_back({TOpCode::kTrap, 0});
+  return ops;
+}
+
+Status BoundConnection::NullCall() {
+  ++calls_;
+  for (const ThreadedOp& op : program_) {
+    switch (op.code) {
+      case TOpCode::kTrap:
+        kernel_->Trap();
+        break;
+      case TOpCode::kSaveRegs:
+        regs_.Save(op.arg, save_area_);
+        break;
+      case TOpCode::kClearRegs:
+        regs_.Clear(RegisterFile::kRegisterCount - op.arg, op.arg);
+        break;
+      case TOpCode::kRestoreRegs:
+        regs_.Restore(op.arg, save_area_);
+        break;
+      case TOpCode::kSwitchSpace:
+        // Page-table/context switch: swap the space context block.
+        std::memcpy(space_context_, client_msg_,
+                    sizeof(space_context_) / 2);
+        asm volatile("" : : "r"(space_context_) : "memory");
+        break;
+      case TOpCode::kCopyMessage:
+        std::memcpy(server_msg_, client_msg_,
+                    op.arg <= sizeof(server_msg_) ? op.arg
+                                                  : sizeof(server_msg_));
+        break;
+      case TOpCode::kTranslateReplyPortUnique:
+        translated_reply_ =
+            server_->names().InsertUnique(reply_port_, RightType::kSend);
+        break;
+      case TOpCode::kTranslateReplyPortNonUnique:
+        translated_reply_ =
+            server_->names().InsertNonUnique(reply_port_, RightType::kSend);
+        break;
+      case TOpCode::kReleaseReplyPort:
+        if (translated_reply_ != kInvalidPortName) {
+          FLEXRPC_RETURN_IF_ERROR(
+              server_->names().Release(translated_reply_));
+          translated_reply_ = kInvalidPortName;
+        }
+        break;
+      case TOpCode::kInvokeServer:
+        if (server_work_) {
+          server_work_();
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SpecializedTransport::RegisterServer(
+    Port* port, Task* server, const InterfaceSignature& signature,
+    TrustLevel server_trust, std::function<void()> work) {
+  if (registrations_.count(port) != 0) {
+    return AlreadyExistsError("port already has a registered server");
+  }
+  registrations_[port] =
+      Registration{server, signature, server_trust, std::move(work)};
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<BoundConnection>> SpecializedTransport::BindClient(
+    Task* client, Port* port, const InterfaceSignature& signature,
+    TrustLevel client_trust, bool nonunique_reply_port) {
+  auto it = registrations_.find(port);
+  if (it == registrations_.end()) {
+    return NotFoundError("no server registered on port");
+  }
+  const Registration& reg = it->second;
+  std::string why;
+  if (!SignaturesCompatible(signature, reg.signature, &why)) {
+    return PermissionDeniedError(
+        StrFormat("signature check failed at bind time: %s", why.c_str()));
+  }
+
+  auto conn = std::unique_ptr<BoundConnection>(new BoundConnection());
+  conn->kernel_ = kernel_;
+  conn->client_ = client;
+  conn->server_ = reg.server;
+  conn->server_work_ = reg.work;
+  // The client's reply port: created once at bind time; its right is
+  // translated into the server's name space on every call.
+  PortName reply_name = kernel_->CreatePort(client);
+  FLEXRPC_ASSIGN_OR_RETURN(Port * reply_port,
+                           kernel_->ResolvePort(client, reply_name));
+  conn->reply_port_ = reply_port;
+  conn->regs_.FillPattern(0xABCD);
+  conn->program_ = AssembleCombination(client_trust, reg.trust,
+                                       nonunique_reply_port,
+                                       /*message_bytes=*/32);
+  return conn;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,183 @@
+// The presentation-aware marshal engine: flexrpc's runtime stub bodies.
+//
+// A MarshalProgram is compiled once per (operation, presentation) pair at
+// bind time — the moral equivalent of the paper's threaded-code combination
+// signatures — and then executed per call. The wire layout it produces is a
+// pure function of the *interface* (items in IDL order, request = in/inout
+// params, reply = inout/out params then the result), so endpoints with
+// different presentations interoperate byte-for-byte. The presentation only
+// chooses where bytes come from and go to:
+//   * which ArgVec slot carries each wire item (flattened struct fields vs.
+//     a whole struct pointer),
+//   * whether buffer lengths are implicit (NUL) or explicit (length slot),
+//   * whether byte runs move through memcpy or [special] user routines,
+//   * whether receive buffers are caller-provided ([alloc(user)]) or
+//     allocated from the receiving arena,
+//   * whether the producing stub frees buffers after marshaling
+//     ([dealloc(always)] move semantics vs [dealloc(never)]).
+
+#ifndef FLEXRPC_SRC_MARSHAL_ENGINE_H_
+#define FLEXRPC_SRC_MARSHAL_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/idl/ast.h"
+#include "src/marshal/format.h"
+#include "src/pdl/presentation.h"
+#include "src/support/arena.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// One stub-level argument slot. Scalars live in `scalar`; buffer-like and
+// structured values store a pointer in `scalar` with `length` (element
+// count) and `capacity` (receive capacity, elements) alongside.
+struct ArgValue {
+  uint64_t scalar = 0;
+  uint32_t length = 0;
+  uint32_t capacity = 0;
+  // True when ptr() aliases the transport's message buffer instead of
+  // owning a block (server-side in-place unmarshaling); such slots are
+  // never freed by ReleaseRequest.
+  bool borrowed = false;
+
+  void* ptr() const { return reinterpret_cast<void*>(scalar); }
+  void set_ptr(const void* p) {
+    scalar = reinterpret_cast<uint64_t>(p);
+  }
+};
+
+// The argument vector a runtime stub operates on: one slot per presentation
+// parameter, plus a final slot for the operation result. Small vectors
+// (the overwhelmingly common case) live entirely on the stack, as the
+// storage of a compiled stub would.
+class ArgVec {
+ public:
+  explicit ArgVec(size_t slot_count) : size_(slot_count) {
+    if (slot_count > kInlineSlots) {
+      heap_ = new ArgValue[slot_count]();
+    }
+  }
+  ~ArgVec() { delete[] heap_; }
+
+  ArgVec(const ArgVec&) = delete;
+  ArgVec& operator=(const ArgVec&) = delete;
+
+  ArgValue& operator[](size_t i) { return data()[i]; }
+  const ArgValue& operator[](size_t i) const { return data()[i]; }
+  size_t size() const { return size_; }
+  void Reset() { std::fill(data(), data() + size_, ArgValue{}); }
+
+ private:
+  static constexpr size_t kInlineSlots = 12;
+
+  ArgValue* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const ArgValue* data() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+
+  size_t size_;
+  ArgValue inline_[kInlineSlots] = {};
+  ArgValue* heap_ = nullptr;
+};
+
+// User-provided byte movers for [special] parameters (the paper's Linux
+// copyin/copyout routines, or fbuf access routines).
+struct SpecialOps {
+  // Copies `n` application bytes at `src` into wire storage `dst`.
+  std::function<void(uint8_t* dst, const void* src, size_t n)> copy_out;
+  // Copies `n` wire bytes at `src` into application storage `dst`.
+  std::function<void(void* dst, const uint8_t* src, size_t n)> copy_in;
+};
+
+class MarshalProgram {
+ public:
+  // Compiles the program for one operation under one side's presentation.
+  // `op` and `pres` must outlive the program.
+  static MarshalProgram Build(const OperationDecl& op,
+                              const OpPresentation& pres);
+
+  // --- client side ---
+  Status MarshalRequest(const ArgVec& args, WireWriter* w,
+                        const SpecialOps* special = nullptr) const;
+  Status UnmarshalReply(WireReader* r, Arena* arena, ArgVec* args,
+                        const SpecialOps* special = nullptr) const;
+
+  // --- server side ---
+  // Byte-buffer in-parameters are unmarshaled *in place*: their slots
+  // alias the request message (which a synchronous server owns for the
+  // call's duration) rather than copying into fresh blocks — the standard
+  // trick of efficient server stubs. Strings are still copied (they need
+  // NUL termination). Pass borrow_bytes=false to force copies when the
+  // request buffer does not outlive the ArgVec.
+  Status UnmarshalRequest(WireReader* r, Arena* arena, ArgVec* args,
+                          const SpecialOps* special = nullptr,
+                          bool borrow_bytes = true) const;
+  Status MarshalReply(const ArgVec& args, WireWriter* w, Arena* arena,
+                      const SpecialOps* special = nullptr) const;
+
+  // Frees the storage UnmarshalRequest allocated from `arena` (server stub
+  // epilogue). Slots pointing at caller-provided storage are untouched.
+  void ReleaseRequest(Arena* arena, ArgVec* args) const;
+  // Frees stub-allocated reply storage on the client (the "client frees the
+  // donated buffer" step of move semantics).
+  void ReleaseReply(Arena* arena, ArgVec* args) const;
+
+  // Slot bookkeeping. Result occupies the final slot.
+  size_t slot_count() const { return slot_count_; }
+  int result_slot() const { return static_cast<int>(slot_count_) - 1; }
+  // Slot of a named presentation parameter, -1 if absent.
+  int SlotOf(std::string_view name) const;
+
+  const OperationDecl& op() const { return *op_; }
+  const OpPresentation& presentation() const { return *pres_; }
+
+ private:
+  // One wire item of the request or reply stream.
+  struct FieldSlot {
+    const Type* type = nullptr;
+    int slot = -1;
+    const ParamPresentation* pres = nullptr;
+  };
+  struct Item {
+    const Type* type = nullptr;       // wire type of the whole item
+    ParamDir dir = ParamDir::kIn;
+    bool is_result = false;
+    int slot = -1;                    // direct slot; -1 when flattened
+    const ParamPresentation* pres = nullptr;  // direct-slot presentation
+    bool flattened = false;
+    std::vector<FieldSlot> fields;    // flattened struct fields, in order
+    int disc_slot = -1;               // flattened union result discriminant
+    uint32_t success_label = 0;       // label of the struct-carrying arm
+    const Type* success_struct = nullptr;
+  };
+
+  Status MarshalItem(const Item& item, const ArgVec& args, WireWriter* w,
+                     const SpecialOps* special) const;
+  Status UnmarshalItem(const Item& item, WireReader* r, Arena* arena,
+                       ArgVec* args, const SpecialOps* special,
+                       bool borrow_bytes) const;
+  Status MarshalTop(const ParamPresentation* pres, const Type* type,
+                    const ArgValue& slot, uint32_t explicit_len,
+                    WireWriter* w, const SpecialOps* special) const;
+  Status UnmarshalTop(const ParamPresentation* pres, const Type* type,
+                      ArgValue* slot, WireReader* r, Arena* arena,
+                      const SpecialOps* special, bool borrow_bytes) const;
+  void DeallocAfterMarshal(const Item& item, const ArgVec& args,
+                           Arena* arena) const;
+  // Length of a buffer-like value, honoring [length_is].
+  uint32_t EffectiveLength(const ParamPresentation* pres, const Type* type,
+                           const ArgValue& slot, const ArgVec& args) const;
+
+  const OperationDecl* op_ = nullptr;
+  const OpPresentation* pres_ = nullptr;
+  size_t slot_count_ = 0;
+  std::vector<Item> request_items_;
+  std::vector<Item> reply_items_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_MARSHAL_ENGINE_H_

@@ -1,0 +1,33 @@
+#include "src/marshal/format.h"
+
+#include <cstring>
+
+namespace flexrpc {
+
+void WireWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+Result<float> WireReader::GetF32() {
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t bits, GetU32());
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<double> WireReader::GetF64() {
+  FLEXRPC_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace flexrpc

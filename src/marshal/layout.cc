@@ -1,0 +1,96 @@
+#include "src/marshal/layout.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace flexrpc {
+
+namespace {
+size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+size_t NativeFieldOffset(const Type* struct_type, size_t field_index) {
+  return struct_type->Resolve()->FieldOffset(field_index);
+}
+
+size_t UnionPayloadOffset(const Type* union_type) {
+  const Type* u = union_type->Resolve();
+  assert(u->kind() == TypeKind::kUnion);
+  return AlignUp(4, u->NativeAlign());
+}
+
+uint64_t LoadScalar(const Type* type, const void* src) {
+  switch (type->Resolve()->kind()) {
+    case TypeKind::kBool:
+    case TypeKind::kOctet:
+    case TypeKind::kChar: {
+      uint8_t v;
+      std::memcpy(&v, src, 1);
+      return v;
+    }
+    case TypeKind::kI16:
+    case TypeKind::kU16: {
+      uint16_t v;
+      std::memcpy(&v, src, 2);
+      return v;
+    }
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kF32:
+    case TypeKind::kEnum: {
+      uint32_t v;
+      std::memcpy(&v, src, 4);
+      return v;
+    }
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kF64:
+    case TypeKind::kObjRef: {
+      uint64_t v;
+      std::memcpy(&v, src, 8);
+      return v;
+    }
+    default:
+      assert(false && "LoadScalar on non-scalar type");
+      return 0;
+  }
+}
+
+void StoreScalar(const Type* type, void* dst, uint64_t bits) {
+  switch (type->Resolve()->kind()) {
+    case TypeKind::kBool:
+    case TypeKind::kOctet:
+    case TypeKind::kChar: {
+      uint8_t v = static_cast<uint8_t>(bits);
+      std::memcpy(dst, &v, 1);
+      return;
+    }
+    case TypeKind::kI16:
+    case TypeKind::kU16: {
+      uint16_t v = static_cast<uint16_t>(bits);
+      std::memcpy(dst, &v, 2);
+      return;
+    }
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kF32:
+    case TypeKind::kEnum: {
+      uint32_t v = static_cast<uint32_t>(bits);
+      std::memcpy(dst, &v, 4);
+      return;
+    }
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kF64:
+    case TypeKind::kObjRef: {
+      std::memcpy(dst, &bits, 8);
+      return;
+    }
+    default:
+      assert(false && "StoreScalar on non-scalar type");
+  }
+}
+
+}  // namespace flexrpc

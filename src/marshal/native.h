@@ -1,0 +1,57 @@
+// Compact native (little-endian, unpadded) wire format for intra-machine
+// IPC messages, where sender and receiver share a byte order and the
+// message buffer is copied verbatim between address spaces by the kernel.
+
+#ifndef FLEXRPC_SRC_MARSHAL_NATIVE_H_
+#define FLEXRPC_SRC_MARSHAL_NATIVE_H_
+
+#include "src/marshal/format.h"
+
+namespace flexrpc {
+
+class NativeWriter final : public WireWriter {
+ public:
+  void PutU8(uint8_t v) override { buffer_.push_back(v); }
+  void PutU16(uint16_t v) override { Append(&v, sizeof(v)); }
+  void PutU32(uint32_t v) override { Append(&v, sizeof(v)); }
+  void PutU64(uint64_t v) override { Append(&v, sizeof(v)); }
+  void PutBytes(const void* src, size_t n) override { Append(src, n); }
+  uint8_t* ReserveBytes(size_t n) override {
+    size_t offset = buffer_.size();
+    buffer_.resize(offset + n);
+    return buffer_.data() + offset;
+  }
+  size_t size() const override { return buffer_.size(); }
+  ByteSpan span() const override {
+    return ByteSpan(buffer_.data(), buffer_.size());
+  }
+  void Clear() override { buffer_.clear(); }
+
+ private:
+  void Append(const void* src, size_t n);
+
+  std::vector<uint8_t> buffer_;
+};
+
+class NativeReader final : public WireReader {
+ public:
+  explicit NativeReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> GetU8() override { return Read<uint8_t>(); }
+  Result<uint16_t> GetU16() override { return Read<uint16_t>(); }
+  Result<uint32_t> GetU32() override { return Read<uint32_t>(); }
+  Result<uint64_t> GetU64() override { return Read<uint64_t>(); }
+  Result<const uint8_t*> GetBytes(size_t n) override;
+  size_t remaining() const override { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> Read();
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_MARSHAL_NATIVE_H_

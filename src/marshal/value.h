@@ -1,0 +1,48 @@
+// Recursive marshaling of native-layout values to and from a wire format.
+//
+// These routines implement the *default* (attribute-free) encoding used for
+// nested data; top-level parameters go through the presentation-aware
+// MarshalProgram (src/marshal/engine.h), which applies [special] routines,
+// explicit lengths, and allocation policies before delegating to these for
+// structured payloads.
+
+#ifndef FLEXRPC_SRC_MARSHAL_VALUE_H_
+#define FLEXRPC_SRC_MARSHAL_VALUE_H_
+
+#include "src/idl/types.h"
+#include "src/marshal/format.h"
+#include "src/support/arena.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// Writes a scalar's u64 bit pattern at the wire width of `type`.
+void PutScalarWire(WireWriter* w, const Type* type, uint64_t bits);
+// Reads a scalar of `type`, widened to a u64 bit pattern.
+Result<uint64_t> GetScalarWire(WireReader* r, const Type* type);
+
+// Marshals the native-layout value at `src`.
+Status MarshalValue(WireWriter* w, const Type* type, const void* src);
+
+// Unmarshals into the native-layout storage at `dst` (NativeSize(type)
+// bytes, caller-provided). Variable-size payloads (string bytes, sequence
+// buffers) are allocated from `arena` with AllocateBlock.
+Status UnmarshalValue(WireReader* r, const Type* type, void* dst,
+                      Arena* arena);
+
+// Frees the nested blocks UnmarshalValue allocated inside `native` (but not
+// `native` itself, which the caller owns).
+void FreeValue(Arena* arena, const Type* type, void* native);
+
+// Deep structural equality of two native-layout values (test support and
+// same-domain copy elision verification).
+bool ValueEquals(const Type* type, const void* a, const void* b);
+
+// Deep-copies the native value at `src` into `dst`, allocating nested
+// buffers from `arena` (used by the same-domain engine when copy semantics
+// are required).
+Status CopyValue(Arena* arena, const Type* type, const void* src, void* dst);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_MARSHAL_VALUE_H_

@@ -1,0 +1,63 @@
+#include "src/marshal/xdr.h"
+
+#include <cstring>
+
+namespace flexrpc {
+
+namespace {
+size_t PadTo4(size_t n) { return (n + 3) & ~size_t{3}; }
+}  // namespace
+
+void XdrWriter::PutU32(uint32_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v >> 24));
+  buffer_.push_back(static_cast<uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void XdrWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void XdrWriter::PutBytes(const void* src, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(src);
+  buffer_.insert(buffer_.end(), p, p + n);
+  buffer_.insert(buffer_.end(), PadTo4(n) - n, 0);
+}
+
+uint8_t* XdrWriter::ReserveBytes(size_t n) {
+  size_t offset = buffer_.size();
+  buffer_.resize(offset + PadTo4(n), 0);
+  return buffer_.data() + offset;
+}
+
+Result<uint32_t> XdrReader::GetU32() {
+  if (remaining() < 4) {
+    return DataLossError("XDR stream truncated reading u32");
+  }
+  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+               static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+               static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> XdrReader::GetU64() {
+  FLEXRPC_ASSIGN_OR_RETURN(uint64_t hi, GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(uint64_t lo, GetU32());
+  return (hi << 32) | lo;
+}
+
+Result<const uint8_t*> XdrReader::GetBytes(size_t n) {
+  size_t padded = PadTo4(n);
+  if (remaining() < padded) {
+    return DataLossError("XDR stream truncated reading opaque bytes");
+  }
+  const uint8_t* p = data_.data() + pos_;
+  pos_ += padded;
+  return p;
+}
+
+}  // namespace flexrpc

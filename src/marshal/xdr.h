@@ -1,0 +1,56 @@
+// XDR (RFC 1014) wire format, as used by Sun RPC.
+//
+// Every item occupies a multiple of 4 bytes; integers are big-endian;
+// 8/16-bit scalars are widened to 32 bits; opaque byte runs are padded
+// with zeros to the next 4-byte boundary.
+
+#ifndef FLEXRPC_SRC_MARSHAL_XDR_H_
+#define FLEXRPC_SRC_MARSHAL_XDR_H_
+
+#include "src/marshal/format.h"
+
+namespace flexrpc {
+
+class XdrWriter final : public WireWriter {
+ public:
+  void PutU8(uint8_t v) override { PutU32(v); }
+  void PutU16(uint16_t v) override { PutU32(v); }
+  void PutU32(uint32_t v) override;
+  void PutU64(uint64_t v) override;
+  void PutBytes(const void* src, size_t n) override;
+  uint8_t* ReserveBytes(size_t n) override;
+  size_t size() const override { return buffer_.size(); }
+  ByteSpan span() const override {
+    return ByteSpan(buffer_.data(), buffer_.size());
+  }
+  void Clear() override { buffer_.clear(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class XdrReader final : public WireReader {
+ public:
+  explicit XdrReader(ByteSpan data) : data_(data) {}
+
+  Result<uint8_t> GetU8() override {
+    FLEXRPC_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+    return static_cast<uint8_t>(v);
+  }
+  Result<uint16_t> GetU16() override {
+    FLEXRPC_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+    return static_cast<uint16_t>(v);
+  }
+  Result<uint32_t> GetU32() override;
+  Result<uint64_t> GetU64() override;
+  Result<const uint8_t*> GetBytes(size_t n) override;
+  size_t remaining() const override { return data_.size() - pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_MARSHAL_XDR_H_

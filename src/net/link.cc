@@ -1,0 +1,31 @@
+#include "src/net/link.h"
+
+#include <cmath>
+
+namespace flexrpc {
+
+LinkModel::LinkModel() : config_(Config{}) {}
+LinkModel::LinkModel(Config config) : config_(config) {}
+
+RemoteServerModel::RemoteServerModel() : config_(Config{}) {}
+RemoteServerModel::RemoteServerModel(Config config) : config_(config) {}
+
+double LinkModel::TransferSeconds(uint64_t payload_bytes) const {
+  uint64_t packets =
+      (payload_bytes + config_.mtu_bytes - 1) / config_.mtu_bytes;
+  if (packets == 0) {
+    packets = 1;  // even an empty datagram occupies the wire
+  }
+  uint64_t wire_bytes =
+      payload_bytes + packets * config_.per_packet_overhead_bytes;
+  double serialization =
+      static_cast<double>(wire_bytes) * 8.0 / config_.bandwidth_bits_per_sec;
+  return serialization +
+         static_cast<double>(packets) * config_.per_packet_latency_sec;
+}
+
+void LinkModel::Transfer(uint64_t payload_bytes, VirtualClock* clock) const {
+  clock->AdvanceSeconds(TransferSeconds(payload_bytes));
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,95 @@
+#include "src/net/sunrpc.h"
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+constexpr uint32_t kMsgCall = 0;
+constexpr uint32_t kMsgReply = 1;
+constexpr uint32_t kRpcVersion = 2;
+constexpr uint32_t kMsgAccepted = 0;
+constexpr uint32_t kAcceptSuccess = 0;
+constexpr uint32_t kAuthNull = 0;
+
+void EncodeAuthNull(XdrWriter* w) {
+  w->PutU32(kAuthNull);  // flavor
+  w->PutU32(0);          // body length
+}
+
+Status DecodeAuth(XdrReader* r) {
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t flavor, r->GetU32());
+  (void)flavor;
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t len, r->GetU32());
+  if (len > 400) {
+    return DataLossError("implausible auth body length");
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* body, r->GetBytes(len));
+  (void)body;
+  return Status::Ok();
+}
+}  // namespace
+
+void EncodeSunRpcCall(XdrWriter* w, const SunRpcCall& call) {
+  w->PutU32(call.xid);
+  w->PutU32(kMsgCall);
+  w->PutU32(kRpcVersion);
+  w->PutU32(call.program);
+  w->PutU32(call.version);
+  w->PutU32(call.procedure);
+  EncodeAuthNull(w);  // credentials
+  EncodeAuthNull(w);  // verifier
+}
+
+Result<SunRpcCall> DecodeSunRpcCall(XdrReader* r) {
+  SunRpcCall call;
+  FLEXRPC_ASSIGN_OR_RETURN(call.xid, r->GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t msg_type, r->GetU32());
+  if (msg_type != kMsgCall) {
+    return DataLossError("expected a CALL message");
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t rpcvers, r->GetU32());
+  if (rpcvers != kRpcVersion) {
+    return DataLossError(
+        StrFormat("unsupported Sun RPC version %u", rpcvers));
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(call.program, r->GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(call.version, r->GetU32());
+  FLEXRPC_ASSIGN_OR_RETURN(call.procedure, r->GetU32());
+  FLEXRPC_RETURN_IF_ERROR(DecodeAuth(r));
+  FLEXRPC_RETURN_IF_ERROR(DecodeAuth(r));
+  return call;
+}
+
+void EncodeSunRpcReplySuccess(XdrWriter* w, uint32_t xid) {
+  w->PutU32(xid);
+  w->PutU32(kMsgReply);
+  w->PutU32(kMsgAccepted);
+  EncodeAuthNull(w);  // verifier
+  w->PutU32(kAcceptSuccess);
+}
+
+Status DecodeSunRpcReplySuccess(XdrReader* r, uint32_t expected_xid) {
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t xid, r->GetU32());
+  if (xid != expected_xid) {
+    return DataLossError(StrFormat("xid mismatch: got %u, expected %u", xid,
+                                   expected_xid));
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t msg_type, r->GetU32());
+  if (msg_type != kMsgReply) {
+    return DataLossError("expected a REPLY message");
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t stat, r->GetU32());
+  if (stat != kMsgAccepted) {
+    return DataLossError("Sun RPC call was denied");
+  }
+  FLEXRPC_RETURN_IF_ERROR(DecodeAuth(r));
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t accept_stat, r->GetU32());
+  if (accept_stat != kAcceptSuccess) {
+    return DataLossError(
+        StrFormat("Sun RPC accept status %u", accept_stat));
+  }
+  return Status::Ok();
+}
+
+}  // namespace flexrpc

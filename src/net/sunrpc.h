@@ -1,0 +1,37 @@
+// Sun RPC (RFC 1057) message headers over XDR, used by the NFS experiment.
+// AUTH_NULL credentials/verifiers only — authentication is orthogonal to
+// the presentation questions this library studies.
+
+#ifndef FLEXRPC_SRC_NET_SUNRPC_H_
+#define FLEXRPC_SRC_NET_SUNRPC_H_
+
+#include <cstdint>
+
+#include "src/marshal/xdr.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+struct SunRpcCall {
+  uint32_t xid = 0;
+  uint32_t program = 0;
+  uint32_t version = 0;
+  uint32_t procedure = 0;
+};
+
+// Appends a CALL header (msg_type=0, rpcvers=2, AUTH_NULL cred+verf).
+void EncodeSunRpcCall(XdrWriter* w, const SunRpcCall& call);
+
+// Parses a CALL header, validating rpcvers.
+Result<SunRpcCall> DecodeSunRpcCall(XdrReader* r);
+
+// Appends a REPLY header (MSG_ACCEPTED / SUCCESS, AUTH_NULL verf).
+void EncodeSunRpcReplySuccess(XdrWriter* w, uint32_t xid);
+
+// Parses a REPLY header; fails unless it is MSG_ACCEPTED/SUCCESS with the
+// expected xid.
+Status DecodeSunRpcReplySuccess(XdrReader* r, uint32_t expected_xid);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_NET_SUNRPC_H_

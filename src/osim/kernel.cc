@@ -1,0 +1,61 @@
+#include "src/osim/kernel.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+Task* Kernel::CreateTask(std::string name, size_t capacity) {
+  tasks_.push_back(
+      std::make_unique<Task>(next_task_id_++, std::move(name), capacity));
+  return tasks_.back().get();
+}
+
+PortName Kernel::CreatePort(Task* receiver) {
+  ports_.push_back(std::make_unique<Port>(next_port_id_++, receiver));
+  return receiver->names().InsertUnique(ports_.back().get(),
+                                        RightType::kReceive);
+}
+
+Result<PortName> Kernel::MakeSendRight(Task* receiver, PortName receive_name,
+                                       Task* holder) {
+  FLEXRPC_ASSIGN_OR_RETURN(RightEntry * entry,
+                           receiver->names().Lookup(receive_name));
+  if (entry->type != RightType::kReceive) {
+    return FailedPreconditionError(
+        "send rights derive from a receive right");
+  }
+  return holder->names().InsertUnique(entry->port, RightType::kSend);
+}
+
+Result<PortName> Kernel::TransferRight(Task* from, PortName name, Task* to,
+                                       bool nonunique) {
+  Trap();
+  FLEXRPC_ASSIGN_OR_RETURN(RightEntry * entry, from->names().Lookup(name));
+  Port* port = entry->port;
+  if (nonunique) {
+    return to->names().InsertNonUnique(port, RightType::kSend);
+  }
+  return to->names().InsertUnique(port, RightType::kSend);
+}
+
+Result<Port*> Kernel::ResolvePort(Task* task, PortName name) {
+  FLEXRPC_ASSIGN_OR_RETURN(RightEntry * entry, task->names().Lookup(name));
+  return entry->port;
+}
+
+void Kernel::Trap() {
+  ++trap_count_;
+  // Mode switch: spill a trap frame onto the kernel stack. This is the
+  // fixed per-IPC cost that all presentations share.
+  uint64_t frame[8];
+  for (size_t i = 0; i < 8; ++i) {
+    frame[i] = trap_count_ + i;
+  }
+  std::memcpy(kernel_stack_, frame, sizeof(frame));
+  // Prevent the compiler from eliding the spill.
+  asm volatile("" : : "r"(kernel_stack_) : "memory");
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,65 @@
+// The simulated kernel: task and port lifecycle, right transfer between
+// name spaces, and the fixed trap/domain-switch work every IPC pays.
+
+#ifndef FLEXRPC_SRC_OSIM_KERNEL_H_
+#define FLEXRPC_SRC_OSIM_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/osim/port.h"
+#include "src/osim/task.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Task* CreateTask(std::string name,
+                   size_t capacity = Arena::kDefaultCapacity);
+
+  // Creates a port whose receive right lands in `receiver`'s name table.
+  // Returns the receive right's name in that task.
+  PortName CreatePort(Task* receiver);
+
+  // Creates a send right to the port named `receive_name` in `receiver`'s
+  // space, inserting it into `holder`'s name table.
+  Result<PortName> MakeSendRight(Task* receiver, PortName receive_name,
+                                 Task* holder);
+
+  // Transfers (copies) the send right named `name` in `from` into `to`'s
+  // name space — the §4.5 micro-operation. `nonunique` selects the relaxed
+  // fast path the [nonunique] presentation enables.
+  Result<PortName> TransferRight(Task* from, PortName name, Task* to,
+                                 bool nonunique);
+
+  // Resolves a name in `task` to the underlying port.
+  Result<Port*> ResolvePort(Task* task, PortName name);
+
+  // Simulated kernel entry: the fixed work (mode switch, stack switch)
+  // every trap performs regardless of presentation. Real work, small cost.
+  void Trap();
+
+  uint64_t trap_count() const { return trap_count_; }
+  size_t task_count() const { return tasks_.size(); }
+  size_t port_count() const { return ports_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  uint64_t next_task_id_ = 1;
+  uint64_t next_port_id_ = 1;
+  uint64_t trap_count_ = 0;
+  // The simulated kernel stack the trap path touches.
+  uint8_t kernel_stack_[256] = {};
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_OSIM_KERNEL_H_

@@ -1,0 +1,81 @@
+#include "src/osim/port.h"
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+#define FLEXRPC_NOINLINE __attribute__((noinline))
+
+FLEXRPC_NOINLINE PortName NameTable::ReverseLookup(const Port* port) const {
+  auto it = by_port_.find(port);
+  return it == by_port_.end() ? kInvalidPortName : it->second;
+}
+
+FLEXRPC_NOINLINE PortName NameTable::BumpExisting(PortName name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return kInvalidPortName;
+  }
+  ++it->second.refs;
+  return name;
+}
+
+FLEXRPC_NOINLINE PortName NameTable::InstallFresh(Port* port, RightType type,
+                                                  bool track_reverse) {
+  PortName name = next_name_++;
+  names_.emplace(name, RightEntry{port, type, 1});
+  if (track_reverse) {
+    by_port_.emplace(port, name);
+  }
+  return name;
+}
+
+PortName NameTable::InsertUnique(Port* port, RightType type) {
+  PortName existing = ReverseLookup(port);
+  if (existing != kInvalidPortName) {
+    PortName bumped = BumpExisting(existing);
+    if (bumped != kInvalidPortName) {
+      return bumped;
+    }
+  }
+  return InstallFresh(port, type, /*track_reverse=*/true);
+}
+
+PortName NameTable::InsertNonUnique(Port* port, RightType type) {
+  return InstallFresh(port, type, /*track_reverse=*/false);
+}
+
+Result<RightEntry*> NameTable::Lookup(PortName name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return NotFoundError(StrFormat("no right named %llu in this task",
+                                   static_cast<unsigned long long>(name)));
+  }
+  return &it->second;
+}
+
+Status NameTable::Release(PortName name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return NotFoundError(StrFormat("no right named %llu in this task",
+                                   static_cast<unsigned long long>(name)));
+  }
+  if (--it->second.refs == 0) {
+    auto rev = by_port_.find(it->second.port);
+    if (rev != by_port_.end() && rev->second == name) {
+      by_port_.erase(rev);
+    }
+    names_.erase(it);
+  }
+  return Status::Ok();
+}
+
+uint64_t NameTable::total_refs() const {
+  uint64_t total = 0;
+  for (const auto& [name, entry] : names_) {
+    total += entry.refs;
+  }
+  return total;
+}
+
+}  // namespace flexrpc

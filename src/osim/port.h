@@ -1,0 +1,91 @@
+// Ports, port rights, and per-task port name tables.
+//
+// This models the Mach naming machinery whose cost §4.5 of the paper
+// targets: every task refers to ports through small integer *names* in a
+// per-task table. The standard semantics require that all rights a task
+// holds to one port share a single name, which forces a reverse lookup
+// (port → existing name), an insert-or-increment, and refcount bookkeeping
+// on every right transfer. The [nonunique] presentation relaxes this and
+// takes the fast path: allocate a fresh name, insert, done.
+//
+// The unique path is deliberately structured as a chain of noinline helper
+// calls, mirroring the paper's observation that "these operations invoke
+// many layers of function calls and are surprisingly expensive."
+
+#ifndef FLEXRPC_SRC_OSIM_PORT_H_
+#define FLEXRPC_SRC_OSIM_PORT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+using PortName = uint64_t;
+inline constexpr PortName kInvalidPortName = 0;
+
+class Task;
+
+// A kernel port object: a capability target. Message queues live in the
+// IPC layer; the port itself is pure identity plus its receiver.
+class Port {
+ public:
+  Port(uint64_t id, Task* receiver) : id_(id), receiver_(receiver) {}
+
+  uint64_t id() const { return id_; }
+  Task* receiver() const { return receiver_; }
+  void set_receiver(Task* task) { receiver_ = task; }
+
+ private:
+  uint64_t id_;
+  Task* receiver_;
+};
+
+enum class RightType : uint8_t { kSend, kReceive };
+
+struct RightEntry {
+  Port* port = nullptr;
+  RightType type = RightType::kSend;
+  uint32_t refs = 0;
+};
+
+// One task's port name space.
+class NameTable {
+ public:
+  // Inserts a right under the standard unique-name semantics: if the task
+  // already holds a right to `port`, the existing name's refcount is
+  // incremented and that name returned; otherwise a fresh name is chosen
+  // and both the forward and reverse maps updated.
+  PortName InsertUnique(Port* port, RightType type);
+
+  // The [nonunique] fast path: always allocates a fresh name; no reverse
+  // lookup, no refcounting against existing entries.
+  PortName InsertNonUnique(Port* port, RightType type);
+
+  // Resolves a name to its right entry.
+  Result<RightEntry*> Lookup(PortName name);
+
+  // Drops one reference; removes the name (and reverse mapping) when the
+  // count reaches zero.
+  Status Release(PortName name);
+
+  size_t size() const { return names_.size(); }
+  // Total references outstanding (for conservation property tests).
+  uint64_t total_refs() const;
+
+ private:
+  // Deliberately-noinline stages of the unique insert path.
+  PortName ReverseLookup(const Port* port) const;
+  PortName BumpExisting(PortName name);
+  PortName InstallFresh(Port* port, RightType type, bool track_reverse);
+
+  std::unordered_map<PortName, RightEntry> names_;
+  std::unordered_map<const Port*, PortName> by_port_;
+  PortName next_name_ = 0x1000;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_OSIM_PORT_H_

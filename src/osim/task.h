@@ -1,0 +1,38 @@
+// A simulated task: one protection domain (address space) plus its port
+// name space.
+
+#ifndef FLEXRPC_SRC_OSIM_TASK_H_
+#define FLEXRPC_SRC_OSIM_TASK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/osim/address_space.h"
+#include "src/osim/port.h"
+
+namespace flexrpc {
+
+class Task {
+ public:
+  Task(uint64_t id, std::string name, size_t capacity)
+      : id_(id), space_(name, capacity), name_(std::move(name)) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  AddressSpace& space() { return space_; }
+  NameTable& names() { return names_; }
+  const NameTable& names() const { return names_; }
+
+ private:
+  uint64_t id_;
+  AddressSpace space_;
+  NameTable names_;
+  std::string name_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_OSIM_TASK_H_

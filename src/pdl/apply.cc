@@ -1,0 +1,741 @@
+#include "src/pdl/apply.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+bool IsIntegralScalar(const Type* type) {
+  switch (type->Resolve()->kind()) {
+    case TypeKind::kI16:
+    case TypeKind::kU16:
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kEnum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True if the wire size of `type` varies with the value. (Mirror of the
+// static helper in presentation.cc; duplicated to keep that one private.)
+bool VariableSize(const Type* type) {
+  const Type* t = type->Resolve();
+  switch (t->kind()) {
+    case TypeKind::kString:
+    case TypeKind::kSequence:
+    case TypeKind::kUnion:
+      return true;
+    case TypeKind::kArray:
+      return VariableSize(t->element());
+    case TypeKind::kStruct:
+      for (const StructField& f : t->fields()) {
+        if (VariableSize(f.type)) {
+          return true;
+        }
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+ParamPresentation DefaultFieldPresentation(const std::string& name,
+                                           const Type* type, ParamDir dir,
+                                           Side side, Binding binding) {
+  ParamPresentation p;
+  p.name = name;
+  p.binding = binding;
+  bool produces_data = dir != ParamDir::kIn;
+  if (produces_data && VariableSize(type)) {
+    if (side == Side::kServer) {
+      p.alloc = AllocPolicy::kUser;
+      p.dealloc = DeallocPolicy::kAlways;
+    } else {
+      p.alloc = AllocPolicy::kStub;
+    }
+  } else if (produces_data) {
+    p.alloc = side == Side::kClient ? AllocPolicy::kUser : AllocPolicy::kStub;
+  }
+  return p;
+}
+
+class Applier {
+ public:
+  Applier(const InterfaceFile& idl, Side side, const PdlFile* pdl,
+          PresentationSet* out, DiagnosticSink* diags)
+      : idl_(idl), side_(side), pdl_(pdl), out_(out), diags_(diags) {}
+
+  bool Run() {
+    out_->side = side_;
+    out_->by_interface.clear();
+    for (const InterfaceDecl& itf : idl_.interfaces) {
+      out_->by_interface.emplace(itf.name, DefaultPresentation(itf, side_));
+    }
+    if (pdl_ != nullptr) {
+      for (const PdlInterfaceDecl& decl : pdl_->interfaces) {
+        ApplyInterfaceDecl(decl);
+      }
+      for (const PdlTypeDecl& decl : pdl_->types) {
+        ApplyTypeDecl(decl);
+      }
+      for (const PdlOpDecl& decl : pdl_->ops) {
+        ApplyOpDecl(decl);
+      }
+    }
+    Validate();
+    return !diags_->HasErrors();
+  }
+
+ private:
+  void Error(SourcePos pos, std::string message) {
+    diags_->Error(pdl_ != nullptr ? pdl_->filename : idl_.filename, pos,
+                  std::move(message));
+  }
+
+  void ApplyInterfaceDecl(const PdlInterfaceDecl& decl) {
+    auto it = out_->by_interface.find(decl.interface_name);
+    if (it == out_->by_interface.end()) {
+      Error(decl.pos, StrFormat("unknown interface '%s'",
+                                decl.interface_name.c_str()));
+      return;
+    }
+    InterfacePresentation& pres = it->second;
+    bool leaky = false;
+    bool unprotected = false;
+    for (const PdlAttr& attr : decl.attrs) {
+      if (attr.name == "leaky") {
+        leaky = true;
+      } else if (attr.name == "unprotected") {
+        unprotected = true;
+      } else if (attr.name == "trust" && attr.args.size() == 1) {
+        if (attr.args[0] == "none") {
+          pres.trust = TrustLevel::kNone;
+        } else if (attr.args[0] == "leaky") {
+          pres.trust = TrustLevel::kLeaky;
+        } else if (attr.args[0] == "full") {
+          pres.trust = TrustLevel::kFull;
+        } else {
+          Error(attr.pos, StrFormat("unknown trust level '%s'",
+                                    attr.args[0].c_str()));
+        }
+      } else {
+        Error(attr.pos, StrFormat("unknown interface attribute '%s'",
+                                  attr.name.c_str()));
+      }
+    }
+    if (unprotected && !leaky) {
+      Error(decl.pos,
+            "[unprotected] requires [leaky]: integrity cannot be waived "
+            "while confidentiality is protected");
+    } else if (unprotected) {
+      pres.trust = TrustLevel::kFull;
+    } else if (leaky) {
+      pres.trust = TrustLevel::kLeaky;
+    }
+  }
+
+  // Does `type` match a PDL type name? Named types match their name;
+  // "string" and "opaque" match the builtin string / byte-sequence shapes.
+  static bool TypeMatches(const Type* type, const std::string& name) {
+    if (type == nullptr) {
+      return false;
+    }
+    if (!type->name().empty() && type->name() == name) {
+      return true;
+    }
+    const Type* r = type->Resolve();
+    if (!r->name().empty() && r->name() == name) {
+      return true;
+    }
+    if (name == "string" && r->kind() == TypeKind::kString) {
+      return true;
+    }
+    if (name == "opaque" && r->kind() == TypeKind::kSequence &&
+        r->element()->Resolve()->kind() == TypeKind::kOctet) {
+      return true;
+    }
+    return false;
+  }
+
+  void ApplyTypeDecl(const PdlTypeDecl& decl) {
+    bool matched_any = false;
+    for (const InterfaceDecl& itf : idl_.interfaces) {
+      InterfacePresentation& pres = out_->by_interface.at(itf.name);
+      for (size_t oi = 0; oi < itf.ops.size(); ++oi) {
+        const OperationDecl& op = itf.ops[oi];
+        OpPresentation& op_pres = pres.ops[oi];
+        for (ParamPresentation& p : op_pres.params) {
+          const Type* t = BindingType(op, p.binding);
+          if (TypeMatches(t, decl.type_name)) {
+            matched_any = true;
+            for (const PdlAttr& attr : decl.attrs) {
+              ApplyParamAttr(attr, &p);
+            }
+          }
+        }
+        const Type* rt = BindingType(op, op_pres.result.binding);
+        if (TypeMatches(rt, decl.type_name)) {
+          matched_any = true;
+          for (const PdlAttr& attr : decl.attrs) {
+            ApplyParamAttr(attr, &op_pres.result);
+          }
+        }
+      }
+    }
+    if (!matched_any) {
+      Error(decl.pos,
+            StrFormat("type '%s' does not occur in any operation",
+                      decl.type_name.c_str()));
+    }
+  }
+
+  // Resolves a PDL function name like "FileIO_read", "read", or
+  // "NFSPROC_READ" to a unique (interface, op) pair.
+  bool ResolveOp(const PdlOpDecl& decl, const InterfaceDecl** out_itf,
+                 const OperationDecl** out_op) {
+    std::vector<std::pair<const InterfaceDecl*, const OperationDecl*>> hits;
+    for (const InterfaceDecl& itf : idl_.interfaces) {
+      for (const OperationDecl& op : itf.ops) {
+        if (decl.func_name == op.name ||
+            decl.func_name == itf.name + "_" + op.name) {
+          hits.emplace_back(&itf, &op);
+        }
+      }
+    }
+    if (hits.empty()) {
+      Error(decl.pos, StrFormat("no operation matches '%s'",
+                                decl.func_name.c_str()));
+      return false;
+    }
+    if (hits.size() > 1) {
+      Error(decl.pos, StrFormat("'%s' is ambiguous between %zu operations",
+                                decl.func_name.c_str(), hits.size()));
+      return false;
+    }
+    *out_itf = hits[0].first;
+    *out_op = hits[0].second;
+    return true;
+  }
+
+  void ApplyOpDecl(const PdlOpDecl& decl) {
+    const InterfaceDecl* itf = nullptr;
+    const OperationDecl* op = nullptr;
+    if (!ResolveOp(decl, &itf, &op)) {
+      return;
+    }
+    InterfacePresentation& ipres = out_->by_interface.at(itf->name);
+    OpPresentation* op_pres = ipres.FindOp(op->name);
+
+    for (const PdlAttr& attr : decl.op_attrs) {
+      if (attr.name == "comm_status") {
+        op_pres->comm_status = true;
+      } else {
+        Error(attr.pos, StrFormat("unknown operation attribute '%s'",
+                                  attr.name.c_str()));
+      }
+    }
+    for (const PdlAttr& attr : decl.return_attrs) {
+      ApplyParamAttr(attr, &op_pres->result);
+    }
+    if (decl.slots.empty()) {
+      return;  // attribute-only re-declaration
+    }
+
+    RebuildParams(decl, *op, op_pres);
+  }
+
+  // Rebuilds the stub-level parameter list of `op_pres` from the slots of a
+  // full re-declaration, resolving names to IDL params, flattenable-struct
+  // fields, the result's success-arm fields, or presentation-only slots.
+  void RebuildParams(const PdlOpDecl& decl, const OperationDecl& op,
+                     OpPresentation* op_pres) {
+    const int flatten_arg = FlattenableArgIndex(op);
+    const Type* flatten_arg_type =
+        flatten_arg >= 0 ? op.params[static_cast<size_t>(flatten_arg)]
+                               .type->Resolve()
+                         : nullptr;
+    const Type* result_struct = FlattenableResultStruct(op);
+    const Type* result_resolved = op.result->Resolve();
+    const bool result_is_union = result_resolved->kind() == TypeKind::kUnion;
+
+    std::vector<ParamPresentation> new_params;
+    std::set<int> bound_params;
+    std::set<int> bound_arg_fields;
+    std::set<int> bound_result_fields;
+    bool disc_bound = false;
+    bool args_flattened = false;
+    bool result_flattened = false;
+
+    for (const PdlSlot& slot : decl.slots) {
+      if (slot.empty) {
+        continue;  // placeholder: keep whatever the defaults say
+      }
+      if (slot.name.empty()) {
+        Error(slot.pos, "presentation attributes require a named slot");
+        continue;
+      }
+      ParamPresentation p;
+      // (a) direct IDL parameter?
+      int param_index = -1;
+      for (size_t i = 0; i < op.params.size(); ++i) {
+        if (op.params[i].name == slot.name) {
+          param_index = static_cast<int>(i);
+          break;
+        }
+      }
+      if (param_index >= 0) {
+        if (!bound_params.insert(param_index).second) {
+          Error(slot.pos, StrFormat("parameter '%s' re-declared twice",
+                                    slot.name.c_str()));
+          continue;
+        }
+        p = *op_pres->FindParam(slot.name);  // keep earlier (type) attrs
+      } else if (flatten_arg_type != nullptr &&
+                 FieldIndex(flatten_arg_type, slot.name) >= 0) {
+        // (b) field of the single struct argument (Figure 1 flattening).
+        int fi = FieldIndex(flatten_arg_type, slot.name);
+        if (!bound_arg_fields.insert(fi).second) {
+          Error(slot.pos, StrFormat("field '%s' re-declared twice",
+                                    slot.name.c_str()));
+          continue;
+        }
+        args_flattened = true;
+        p = DefaultFieldPresentation(
+            slot.name, flatten_arg_type->fields()[static_cast<size_t>(fi)].type,
+            op.params[static_cast<size_t>(flatten_arg)].dir, side_,
+            Binding{BindingKind::kParamField, flatten_arg, fi});
+      } else if (result_struct != nullptr &&
+                 FieldIndex(result_struct, slot.name) >= 0) {
+        // (c) field of the result's success payload.
+        int fi = FieldIndex(result_struct, slot.name);
+        if (!bound_result_fields.insert(fi).second) {
+          Error(slot.pos, StrFormat("field '%s' re-declared twice",
+                                    slot.name.c_str()));
+          continue;
+        }
+        result_flattened = true;
+        p = DefaultFieldPresentation(
+            slot.name, result_struct->fields()[static_cast<size_t>(fi)].type,
+            ParamDir::kOut, side_,
+            Binding{BindingKind::kResultField, -1, fi});
+      } else if (result_is_union &&
+                 !result_resolved->discriminant_name().empty() &&
+                 slot.name == result_resolved->discriminant_name()) {
+        // (d) the result union's discriminant (e.g. `nfsstat *status`).
+        if (disc_bound) {
+          Error(slot.pos, "discriminant re-declared twice");
+          continue;
+        }
+        disc_bound = true;
+        result_flattened = true;
+        p = DefaultFieldPresentation(
+            slot.name, result_resolved->discriminant(), ParamDir::kOut,
+            side_, Binding{BindingKind::kResultDiscriminant, -1, -1});
+      } else {
+        // (e) presentation-only parameter (explicit length, etc.).
+        p.name = slot.name;
+        p.binding = Binding{BindingKind::kPresentationOnly, -1, -1};
+        p.presentation_only = true;
+      }
+      p.declarator_text = slot.ctype_text;
+      for (const PdlAttr& attr : slot.attrs) {
+        ApplyParamAttr(attr, &p);
+      }
+      new_params.push_back(std::move(p));
+    }
+
+    // Unmentioned IDL parameters keep their current presentation.
+    for (size_t i = 0; i < op.params.size(); ++i) {
+      int idx = static_cast<int>(i);
+      if (bound_params.count(idx) != 0) {
+        continue;
+      }
+      if (args_flattened && idx == flatten_arg) {
+        continue;  // replaced by its fields
+      }
+      new_params.push_back(*op_pres->FindParam(op.params[i].name));
+    }
+    // Unmentioned fields of a flattened argument are still wire items; give
+    // them default per-field presentations so marshaling stays complete.
+    if (args_flattened) {
+      for (size_t fi = 0; fi < flatten_arg_type->fields().size(); ++fi) {
+        if (bound_arg_fields.count(static_cast<int>(fi)) != 0) {
+          continue;
+        }
+        const StructField& f = flatten_arg_type->fields()[fi];
+        new_params.push_back(DefaultFieldPresentation(
+            f.name, f.type, op.params[static_cast<size_t>(flatten_arg)].dir,
+            side_,
+            Binding{BindingKind::kParamField, flatten_arg,
+                    static_cast<int>(fi)}));
+      }
+    }
+    if (result_flattened) {
+      if (result_struct != nullptr) {
+        for (size_t fi = 0; fi < result_struct->fields().size(); ++fi) {
+          if (bound_result_fields.count(static_cast<int>(fi)) != 0) {
+            continue;
+          }
+          const StructField& f = result_struct->fields()[fi];
+          new_params.push_back(DefaultFieldPresentation(
+              f.name, f.type, ParamDir::kOut, side_,
+              Binding{BindingKind::kResultField, -1, static_cast<int>(fi)}));
+        }
+      }
+      if (result_is_union && !disc_bound) {
+        std::string disc_name = result_resolved->discriminant_name().empty()
+                                    ? "status"
+                                    : result_resolved->discriminant_name();
+        new_params.push_back(DefaultFieldPresentation(
+            disc_name, result_resolved->discriminant(), ParamDir::kOut,
+            side_, Binding{BindingKind::kResultDiscriminant, -1, -1}));
+      }
+      // The C return value no longer carries the wire result; drop any
+      // attributes the old result presentation had.
+      op_pres->result = ParamPresentation{};
+      op_pres->result.name = "return";
+      op_pres->result.binding =
+          Binding{BindingKind::kPresentationOnly, -1, -1};
+      op_pres->result.presentation_only = true;
+    }
+
+    op_pres->args_flattened = args_flattened;
+    op_pres->result_flattened = result_flattened;
+    op_pres->params = std::move(new_params);
+  }
+
+  static int FieldIndex(const Type* struct_type, const std::string& name) {
+    const std::vector<StructField>& fields = struct_type->fields();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void ApplyParamAttr(const PdlAttr& attr, ParamPresentation* p) {
+    if (attr.name == "length_is") {
+      if (attr.args.size() != 1) {
+        Error(attr.pos, "length_is takes exactly one parameter name");
+        return;
+      }
+      p->explicit_length = true;
+      p->length_param = attr.args[0];
+      return;
+    }
+    if (attr.name == "special") {
+      p->special = true;
+      return;
+    }
+    if (attr.name == "trashable") {
+      p->trashable = true;
+      return;
+    }
+    if (attr.name == "preserved") {
+      p->preserved = true;
+      return;
+    }
+    if (attr.name == "nonunique") {
+      p->nonunique = true;
+      return;
+    }
+    if (attr.name == "dealloc") {
+      if (attr.args.size() != 1) {
+        Error(attr.pos, "dealloc takes one of: never, always, default");
+        return;
+      }
+      if (attr.args[0] == "never") {
+        p->dealloc = DeallocPolicy::kNever;
+      } else if (attr.args[0] == "always") {
+        p->dealloc = DeallocPolicy::kAlways;
+      } else if (attr.args[0] == "default") {
+        p->dealloc = DeallocPolicy::kDefault;
+      } else {
+        Error(attr.pos, StrFormat("unknown dealloc policy '%s'",
+                                  attr.args[0].c_str()));
+      }
+      return;
+    }
+    if (attr.name == "alloc") {
+      if (attr.args.size() != 1) {
+        Error(attr.pos, "alloc takes one of: user, stub, auto");
+        return;
+      }
+      if (attr.args[0] == "user") {
+        p->alloc = AllocPolicy::kUser;
+      } else if (attr.args[0] == "stub") {
+        p->alloc = AllocPolicy::kStub;
+      } else if (attr.args[0] == "auto") {
+        p->alloc = AllocPolicy::kAuto;
+      } else {
+        Error(attr.pos, StrFormat("unknown alloc policy '%s'",
+                                  attr.args[0].c_str()));
+      }
+      return;
+    }
+    Error(attr.pos,
+          StrFormat("unknown parameter attribute '%s'", attr.name.c_str()));
+  }
+
+  // --- final validation over every op presentation ---
+
+  void Validate() {
+    for (const InterfaceDecl& itf : idl_.interfaces) {
+      auto it = out_->by_interface.find(itf.name);
+      if (it == out_->by_interface.end()) {
+        continue;
+      }
+      for (size_t oi = 0; oi < itf.ops.size(); ++oi) {
+        ValidateOp(itf.ops[oi], it->second.ops[oi]);
+      }
+    }
+  }
+
+  void ValidateOp(const OperationDecl& op, const OpPresentation& pres) {
+    SourcePos pos = op.pos;
+    for (const ParamPresentation& p : pres.params) {
+      ValidateParam(op, pres, p, pos);
+    }
+    ValidateParam(op, pres, pres.result, pos);
+    ValidateCoverage(op, pres, pos);
+  }
+
+  void ValidateParam(const OperationDecl& op, const OpPresentation& pres,
+                     const ParamPresentation& p, SourcePos pos) {
+    const Type* type = BindingType(op, p.binding);
+    if (p.presentation_only) {
+      if (p.special || p.trashable || p.preserved || p.nonunique ||
+          p.explicit_length || p.alloc != AllocPolicy::kAuto ||
+          p.dealloc != DeallocPolicy::kDefault) {
+        Error(pos,
+              StrFormat("presentation-only parameter '%s' cannot carry "
+                        "marshaling attributes",
+                        p.name.c_str()));
+      }
+      return;
+    }
+    if (type == nullptr) {
+      return;
+    }
+    ParamDir dir = BindingDir(op, p.binding);
+    if (p.explicit_length) {
+      const Type* r = type->Resolve();
+      if (r->kind() != TypeKind::kString &&
+          r->kind() != TypeKind::kSequence) {
+        Error(pos, StrFormat("[length_is] on '%s' requires a string or "
+                             "sequence type",
+                             p.name.c_str()));
+      }
+      const ParamPresentation* len = pres.FindParam(p.length_param);
+      if (len == nullptr) {
+        Error(pos, StrFormat("[length_is(%s)] names no parameter of this "
+                             "stub",
+                             p.length_param.c_str()));
+      } else if (!len->presentation_only) {
+        const Type* lt = BindingType(op, len->binding);
+        if (lt != nullptr && !IsIntegralScalar(lt)) {
+          Error(pos, StrFormat("length parameter '%s' must be integral",
+                               p.length_param.c_str()));
+        }
+      }
+    }
+    if (p.special && !IsBufferLike(type)) {
+      Error(pos, StrFormat("[special] on '%s' requires a buffer-like type",
+                           p.name.c_str()));
+    }
+    if (p.trashable) {
+      if (side_ != Side::kClient) {
+        Error(pos, "[trashable] is a client-side attribute");
+      } else if (dir == ParamDir::kOut) {
+        Error(pos, "[trashable] applies to in/inout parameters");
+      } else if (!IsBufferLike(type)) {
+        Error(pos, StrFormat("[trashable] on '%s' requires a buffer-like "
+                             "type",
+                             p.name.c_str()));
+      }
+    }
+    if (p.preserved) {
+      if (side_ != Side::kServer) {
+        Error(pos, "[preserved] is a server-side attribute");
+      } else if (dir == ParamDir::kOut) {
+        Error(pos, "[preserved] applies to in/inout parameters");
+      } else if (!IsBufferLike(type)) {
+        Error(pos, StrFormat("[preserved] on '%s' requires a buffer-like "
+                             "type",
+                             p.name.c_str()));
+      }
+    }
+    if (p.nonunique && type->Resolve()->kind() != TypeKind::kObjRef) {
+      Error(pos, StrFormat("[nonunique] on '%s' requires an object "
+                           "reference",
+                           p.name.c_str()));
+    }
+    if (p.alloc != AllocPolicy::kAuto && dir == ParamDir::kIn) {
+      Error(pos, StrFormat("[alloc] on '%s' applies to out/result data",
+                           p.name.c_str()));
+    }
+    if (p.dealloc != DeallocPolicy::kDefault &&
+        IsScalarKind(type->Resolve()->kind())) {
+      Error(pos, StrFormat("[dealloc] on '%s' requires allocated (non-"
+                           "scalar) data",
+                           p.name.c_str()));
+    }
+  }
+
+  // Every wire item (each IDL parameter; the result) must be carried by
+  // exactly one stub-level binding.
+  void ValidateCoverage(const OperationDecl& op, const OpPresentation& pres,
+                        SourcePos pos) {
+    std::vector<int> param_cover(op.params.size(), 0);
+    int result_cover = 0;
+    auto count = [&](const ParamPresentation& p) {
+      switch (p.binding.kind) {
+        case BindingKind::kParam:
+          if (p.binding.param_index >= 0 &&
+              p.binding.param_index < static_cast<int>(op.params.size())) {
+            ++param_cover[static_cast<size_t>(p.binding.param_index)];
+          }
+          break;
+        case BindingKind::kResult:
+          ++result_cover;
+          break;
+        default:
+          break;  // field bindings checked via flatten bookkeeping
+      }
+    };
+    for (const ParamPresentation& p : pres.params) {
+      count(p);
+    }
+    count(pres.result);
+
+    int flatten_arg = FlattenableArgIndex(op);
+    for (size_t i = 0; i < op.params.size(); ++i) {
+      bool flattened_here = pres.args_flattened &&
+                            static_cast<int>(i) == flatten_arg;
+      if (flattened_here) {
+        continue;  // covered by its field bindings
+      }
+      if (param_cover[i] != 1) {
+        Error(pos, StrFormat("parameter '%s' of '%s' is carried by %d stub "
+                             "parameters (need exactly 1)",
+                             op.params[i].name.c_str(), op.name.c_str(),
+                             param_cover[i]));
+      }
+    }
+    bool result_void = op.result->Resolve()->kind() == TypeKind::kVoid;
+    if (!result_void && !pres.result_flattened && result_cover != 1) {
+      Error(pos, StrFormat("result of '%s' is carried by %d bindings (need "
+                           "exactly 1)",
+                           op.name.c_str(), result_cover));
+    }
+  }
+
+  const InterfaceFile& idl_;
+  Side side_;
+  const PdlFile* pdl_;
+  PresentationSet* out_;
+  DiagnosticSink* diags_;
+};
+
+}  // namespace
+
+bool ApplyPdl(const InterfaceFile& idl, Side side, const PdlFile* pdl,
+              PresentationSet* out, DiagnosticSink* diags) {
+  return Applier(idl, side, pdl, out, diags).Run();
+}
+
+bool ApplyPdlText(const InterfaceFile& idl, Side side,
+                  std::string_view pdl_text, std::string pdl_filename,
+                  PresentationSet* out, DiagnosticSink* diags) {
+  auto pdl = ParsePdl(pdl_text, std::move(pdl_filename), diags);
+  if (pdl == nullptr) {
+    return false;
+  }
+  return ApplyPdl(idl, side, pdl.get(), out, diags);
+}
+
+const Type* BindingType(const OperationDecl& op, const Binding& binding) {
+  switch (binding.kind) {
+    case BindingKind::kParam:
+      return op.params[static_cast<size_t>(binding.param_index)].type;
+    case BindingKind::kParamField: {
+      const Type* s =
+          op.params[static_cast<size_t>(binding.param_index)].type->Resolve();
+      return s->fields()[static_cast<size_t>(binding.field_index)].type;
+    }
+    case BindingKind::kResult:
+      return op.result;
+    case BindingKind::kResultField: {
+      const Type* s = FlattenableResultStruct(op);
+      return s == nullptr
+                 ? nullptr
+                 : s->fields()[static_cast<size_t>(binding.field_index)].type;
+    }
+    case BindingKind::kResultDiscriminant:
+      return op.result->Resolve()->discriminant();
+    case BindingKind::kPresentationOnly:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+ParamDir BindingDir(const OperationDecl& op, const Binding& binding) {
+  switch (binding.kind) {
+    case BindingKind::kParam:
+    case BindingKind::kParamField:
+      return op.params[static_cast<size_t>(binding.param_index)].dir;
+    default:
+      return ParamDir::kOut;
+  }
+}
+
+int FlattenableArgIndex(const OperationDecl& op) {
+  int index = -1;
+  for (size_t i = 0; i < op.params.size(); ++i) {
+    if (op.params[i].dir == ParamDir::kOut) {
+      continue;
+    }
+    if (index >= 0) {
+      return -1;  // more than one input parameter
+    }
+    index = static_cast<int>(i);
+  }
+  if (index < 0) {
+    return -1;
+  }
+  const Type* t = op.params[static_cast<size_t>(index)].type->Resolve();
+  return t->kind() == TypeKind::kStruct ? index : -1;
+}
+
+const Type* FlattenableResultStruct(const OperationDecl& op) {
+  const Type* r = op.result->Resolve();
+  if (r->kind() == TypeKind::kStruct) {
+    return r;
+  }
+  if (r->kind() == TypeKind::kUnion) {
+    const Type* found = nullptr;
+    for (const UnionArm& arm : r->arms()) {
+      const Type* at = arm.type->Resolve();
+      if (at->kind() == TypeKind::kVoid) {
+        continue;
+      }
+      if (at->kind() != TypeKind::kStruct || found != nullptr) {
+        return nullptr;  // not the single-success-arm shape
+      }
+      found = at;
+    }
+    return found;
+  }
+  return nullptr;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,201 @@
+#include "src/pdl/pdl_parser.h"
+
+#include "src/idl/lexer.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+class PdlParser {
+ public:
+  PdlParser(std::string_view source, std::string filename,
+            DiagnosticSink* diags)
+      : file_(std::make_unique<PdlFile>()),
+        cursor_(Tokenize(source, filename, diags), filename, diags) {
+    file_->filename = std::move(filename);
+  }
+
+  std::unique_ptr<PdlFile> Run() {
+    while (!cursor_.AtEnd()) {
+      ParseDecl();
+    }
+    if (cursor_.diags()->HasErrors()) {
+      return nullptr;
+    }
+    return std::move(file_);
+  }
+
+ private:
+  void ParseDecl() {
+    if (cursor_.Peek().IsIdent("interface")) {
+      ParseInterfaceDecl();
+      return;
+    }
+    if (cursor_.Peek().IsIdent("type")) {
+      ParseTypeDecl();
+      return;
+    }
+    ParseOpDecl();
+  }
+
+  void ParseInterfaceDecl() {
+    PdlInterfaceDecl decl;
+    decl.pos = cursor_.Peek().pos;
+    cursor_.Next();  // 'interface'
+    decl.interface_name = cursor_.ExpectIdentifier("after 'interface'");
+    if (!ParseAttrGroup(&decl.attrs)) {
+      cursor_.Error("interface declaration needs a [attribute] list");
+    }
+    cursor_.Expect(TokenKind::kSemicolon, "after interface attributes");
+    file_->interfaces.push_back(std::move(decl));
+  }
+
+  void ParseTypeDecl() {
+    PdlTypeDecl decl;
+    decl.pos = cursor_.Peek().pos;
+    cursor_.Next();  // 'type'
+    decl.type_name = cursor_.ExpectIdentifier("after 'type'");
+    if (!ParseAttrGroup(&decl.attrs)) {
+      cursor_.Error("type declaration needs a [attribute] list");
+    }
+    cursor_.Expect(TokenKind::kSemicolon, "after type attributes");
+    file_->types.push_back(std::move(decl));
+  }
+
+  // Parses `[attr, attr(arg, ...), ...]` if present; returns false if the
+  // next token is not '['. Appends to `out`.
+  bool ParseAttrGroup(std::vector<PdlAttr>* out) {
+    if (!cursor_.TryConsume(TokenKind::kLBracket)) {
+      return false;
+    }
+    if (cursor_.TryConsume(TokenKind::kRBracket)) {
+      return true;  // empty group is allowed (and means nothing)
+    }
+    do {
+      PdlAttr attr;
+      attr.pos = cursor_.Peek().pos;
+      attr.name = cursor_.ExpectIdentifier("as attribute name");
+      if (cursor_.TryConsume(TokenKind::kLParen)) {
+        if (!cursor_.Peek().Is(TokenKind::kRParen)) {
+          do {
+            const Token& tok = cursor_.Peek();
+            if (tok.Is(TokenKind::kIdentifier) ||
+                tok.Is(TokenKind::kIntLiteral)) {
+              attr.args.emplace_back(cursor_.Next().text);
+            } else {
+              cursor_.Error("attribute arguments must be identifiers or "
+                            "integers");
+              cursor_.Next();
+            }
+          } while (cursor_.TryConsume(TokenKind::kComma));
+        }
+        cursor_.Expect(TokenKind::kRParen, "to close attribute arguments");
+      }
+      out->push_back(std::move(attr));
+    } while (cursor_.TryConsume(TokenKind::kComma));
+    cursor_.Expect(TokenKind::kRBracket, "to close attribute list");
+    return true;
+  }
+
+  // An op re-declaration:
+  //   [op_attrs] ctype... FuncName ( slot, slot, ... ) [return_attrs] ;
+  void ParseOpDecl() {
+    PdlOpDecl decl;
+    decl.pos = cursor_.Peek().pos;
+    ParseAttrGroup(&decl.op_attrs);
+
+    // Everything up to the identifier directly followed by '(' is the
+    // (cosmetic) return type.
+    std::vector<std::string> ctype_tokens;
+    while (true) {
+      const Token& tok = cursor_.Peek();
+      if (tok.Is(TokenKind::kIdentifier)) {
+        if (cursor_.Peek(1).Is(TokenKind::kLParen)) {
+          decl.func_name = std::string(cursor_.Next().text);
+          break;
+        }
+        ctype_tokens.emplace_back(cursor_.Next().text);
+      } else if (tok.Is(TokenKind::kStar)) {
+        ctype_tokens.emplace_back("*");
+        cursor_.Next();
+      } else {
+        cursor_.Error("expected a stub re-declaration");
+        cursor_.SkipPast(TokenKind::kSemicolon);
+        return;
+      }
+    }
+    decl.return_ctype = StrJoin(ctype_tokens, " ");
+
+    cursor_.Expect(TokenKind::kLParen, "to open parameter slots");
+    if (!cursor_.Peek().Is(TokenKind::kRParen)) {
+      while (true) {
+        decl.slots.push_back(ParseSlot());
+        if (cursor_.TryConsume(TokenKind::kComma)) {
+          continue;
+        }
+        break;
+      }
+    }
+    cursor_.Expect(TokenKind::kRParen, "to close parameter slots");
+    ParseAttrGroup(&decl.return_attrs);
+    cursor_.Expect(TokenKind::kSemicolon, "after stub re-declaration");
+    file_->ops.push_back(std::move(decl));
+  }
+
+  // One slot: empty, or C-ish declarator tokens with [attr] groups anywhere.
+  // The last identifier is the parameter name.
+  PdlSlot ParseSlot() {
+    PdlSlot slot;
+    slot.pos = cursor_.Peek().pos;
+    std::vector<std::string> tokens;
+    while (true) {
+      const Token& tok = cursor_.Peek();
+      if (tok.Is(TokenKind::kComma) || tok.Is(TokenKind::kRParen) ||
+          tok.Is(TokenKind::kEof)) {
+        break;
+      }
+      if (tok.Is(TokenKind::kLBracket)) {
+        ParseAttrGroup(&slot.attrs);
+        continue;
+      }
+      if (tok.Is(TokenKind::kIdentifier)) {
+        tokens.emplace_back(cursor_.Next().text);
+      } else if (tok.Is(TokenKind::kStar)) {
+        tokens.emplace_back("*");
+        cursor_.Next();
+      } else {
+        cursor_.Error(StrFormat("unexpected %s in parameter slot",
+                                std::string(TokenKindName(tok.kind)).c_str()));
+        cursor_.Next();
+      }
+    }
+    if (tokens.empty()) {
+      slot.empty = slot.attrs.empty();
+      return slot;
+    }
+    // The final identifier names the parameter; what precedes it is the
+    // cosmetic C type.
+    slot.name = tokens.back();
+    tokens.pop_back();
+    slot.ctype_text = StrJoin(tokens, " ");
+    if (slot.name == "*") {
+      cursor_.ErrorAt(slot.pos, "parameter slot must end in a name");
+      slot.name.clear();
+    }
+    return slot;
+  }
+
+  std::unique_ptr<PdlFile> file_;
+  TokenCursor cursor_;
+};
+
+}  // namespace
+
+std::unique_ptr<PdlFile> ParsePdl(std::string_view source,
+                                  std::string filename,
+                                  DiagnosticSink* diags) {
+  return PdlParser(source, std::move(filename), diags).Run();
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,97 @@
+// Presentation Definition Language (PDL) parser.
+//
+// The PDL re-declares stub prototypes in a C-like syntax with bracketed
+// presentation attributes, closely following the paper's examples:
+//
+//   // Alternate string presentation (paper §1/§3):
+//   SysLog_write_msg(,, char *[length_is(length)] msg, int length);
+//
+//   // Server keeps ownership of the returned buffer (paper Fig. 5):
+//   FileIO_read(,,)[dealloc(never)];
+//   void FileIO_write(char *[trashable] _buffer, unsigned long _length);
+//
+//   // Op-level attributes (paper Fig. 1):
+//   [comm_status] int nfsproc_read(, nfs_fh *file, unsigned offset,
+//       unsigned count, unsigned totalcount, [special] user_data *data,
+//       fattr *attributes, nfsstat *status);
+//
+//   // Connection-level trust (paper §4.5):
+//   interface FileIO [leaky, unprotected];
+//
+//   // Type-level attributes applied wherever the type appears:
+//   type user_data [special];
+//
+// Parameter slots are matched to IDL parameters *by name*; empty slots
+// (`,,`) are placeholders that keep the default presentation, which is how
+// the paper's examples skip the implicit object/exception parameters. A
+// named slot that matches no IDL parameter declares a presentation-only
+// parameter (e.g. an explicit `int length`), legal only when another slot
+// references it via [length_is(...)] or when it redeclares an implicit
+// parameter for cosmetic reasons.
+//
+// This stage is purely syntactic; ApplyPdl (apply.h) resolves names against
+// an InterfaceFile and validates attribute placement.
+
+#ifndef FLEXRPC_SRC_PDL_PDL_PARSER_H_
+#define FLEXRPC_SRC_PDL_PDL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/diag.h"
+
+namespace flexrpc {
+
+struct PdlAttr {
+  std::string name;
+  std::vector<std::string> args;
+  SourcePos pos;
+};
+
+// One parameter slot of an op re-declaration.
+struct PdlSlot {
+  bool empty = false;        // `,,` placeholder
+  std::string ctype_text;    // cosmetic C type tokens, e.g. "char *"
+  std::string name;          // declarator name; "" for placeholders
+  std::vector<PdlAttr> attrs;
+  SourcePos pos;
+};
+
+struct PdlOpDecl {
+  std::vector<PdlAttr> op_attrs;   // leading [,...] before the return type
+  std::string return_ctype;        // cosmetic, e.g. "int"
+  std::vector<PdlAttr> return_attrs;  // [,...] after the parameter list
+  std::string func_name;           // e.g. "SysLog_write_msg"
+  std::vector<PdlSlot> slots;
+  SourcePos pos;
+};
+
+struct PdlInterfaceDecl {
+  std::string interface_name;
+  std::vector<PdlAttr> attrs;
+  SourcePos pos;
+};
+
+struct PdlTypeDecl {
+  std::string type_name;
+  std::vector<PdlAttr> attrs;
+  SourcePos pos;
+};
+
+struct PdlFile {
+  std::string filename;
+  std::vector<PdlInterfaceDecl> interfaces;
+  std::vector<PdlTypeDecl> types;
+  std::vector<PdlOpDecl> ops;
+};
+
+// Parses PDL text. Returns null (with diagnostics) on error.
+std::unique_ptr<PdlFile> ParsePdl(std::string_view source,
+                                  std::string filename,
+                                  DiagnosticSink* diags);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_PDL_PDL_PARSER_H_

@@ -1,0 +1,159 @@
+#include "src/pdl/presentation.h"
+
+namespace flexrpc {
+
+std::string_view SideName(Side side) {
+  return side == Side::kClient ? "client" : "server";
+}
+
+std::string_view BindingKindName(BindingKind kind) {
+  switch (kind) {
+    case BindingKind::kParam:
+      return "param";
+    case BindingKind::kParamField:
+      return "param-field";
+    case BindingKind::kResult:
+      return "result";
+    case BindingKind::kResultField:
+      return "result-field";
+    case BindingKind::kResultDiscriminant:
+      return "result-discriminant";
+    case BindingKind::kPresentationOnly:
+      return "presentation-only";
+  }
+  return "?";
+}
+
+std::string_view TrustLevelName(TrustLevel level) {
+  switch (level) {
+    case TrustLevel::kNone:
+      return "none";
+    case TrustLevel::kLeaky:
+      return "leaky";
+    case TrustLevel::kFull:
+      return "leaky,unprotected";
+  }
+  return "?";
+}
+
+ParamPresentation* OpPresentation::FindParam(std::string_view name) {
+  for (ParamPresentation& p : params) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const ParamPresentation* OpPresentation::FindParam(
+    std::string_view name) const {
+  return const_cast<OpPresentation*>(this)->FindParam(name);
+}
+
+OpPresentation* InterfacePresentation::FindOp(std::string_view name) {
+  for (OpPresentation& op : ops) {
+    if (op.op_name == name) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+const OpPresentation* InterfacePresentation::FindOp(
+    std::string_view name) const {
+  return const_cast<InterfacePresentation*>(this)->FindOp(name);
+}
+
+bool IsBufferLike(const Type* type) {
+  switch (type->Resolve()->kind()) {
+    case TypeKind::kString:
+    case TypeKind::kSequence:
+    case TypeKind::kArray:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// True if the wire size of `type` varies with the value (so the receiver
+// cannot preallocate exactly without more information).
+bool IsVariableSize(const Type* type) {
+  const Type* t = type->Resolve();
+  switch (t->kind()) {
+    case TypeKind::kString:
+    case TypeKind::kSequence:
+    case TypeKind::kUnion:
+      return true;
+    case TypeKind::kArray:
+      return IsVariableSize(t->element());
+    case TypeKind::kStruct:
+      for (const StructField& f : t->fields()) {
+        if (IsVariableSize(f.type)) {
+          return true;
+        }
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+ParamPresentation DefaultParamPresentation(const std::string& name,
+                                           const Type* type, ParamDir dir,
+                                           Side side) {
+  ParamPresentation p;
+  p.name = name;
+  const Type* t = type->Resolve();
+  bool produces_data =
+      dir != ParamDir::kIn;  // out/inout: data flows back to the client
+  if (t->kind() == TypeKind::kVoid) {
+    return p;
+  }
+  if (IsVariableSize(t) && produces_data) {
+    if (side == Side::kServer) {
+      // CORBA/COM move semantics: the work function allocates and donates;
+      // the stub deallocates once the data has been marshaled out.
+      p.alloc = AllocPolicy::kUser;
+      p.dealloc = DeallocPolicy::kAlways;
+    } else {
+      // The client consumes a system-provided buffer (and frees it later).
+      p.alloc = AllocPolicy::kStub;
+    }
+  } else if (produces_data) {
+    // Fixed-size out data is written directly into caller storage on the
+    // client and stub storage on the server.
+    p.alloc = side == Side::kClient ? AllocPolicy::kUser : AllocPolicy::kStub;
+  }
+  return p;
+}
+
+}  // namespace
+
+InterfacePresentation DefaultPresentation(const InterfaceDecl& itf,
+                                          Side side) {
+  InterfacePresentation pres;
+  pres.interface_name = itf.name;
+  pres.side = side;
+  pres.trust = TrustLevel::kNone;
+  for (const OperationDecl& op : itf.ops) {
+    OpPresentation op_pres;
+    op_pres.op_name = op.name;
+    for (size_t i = 0; i < op.params.size(); ++i) {
+      const ParamDecl& param = op.params[i];
+      ParamPresentation p =
+          DefaultParamPresentation(param.name, param.type, param.dir, side);
+      p.binding = Binding{BindingKind::kParam, static_cast<int>(i), -1};
+      op_pres.params.push_back(std::move(p));
+    }
+    // The result behaves like an out parameter named "return".
+    op_pres.result = DefaultParamPresentation("return", op.result,
+                                              ParamDir::kOut, side);
+    op_pres.result.binding = Binding{BindingKind::kResult, -1, -1};
+    pres.ops.push_back(std::move(op_pres));
+  }
+  return pres;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,246 @@
+#include "src/rpc/samedomain.h"
+
+#include <cstring>
+
+#include "src/marshal/value.h"
+#include "src/pdl/apply.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+bool IsScalarish(const Type* type) {
+  const Type* t = type->Resolve();
+  return IsScalarKind(t->kind()) || t->kind() == TypeKind::kEnum ||
+         t->kind() == TypeKind::kObjRef || t->kind() == TypeKind::kVoid;
+}
+
+// Bytes a buffer-like value occupies (for copy accounting and block sizes).
+size_t BufferBytes(const Type* type, const ArgValue& slot) {
+  const Type* t = type->Resolve();
+  switch (t->kind()) {
+    case TypeKind::kString: {
+      const char* s = static_cast<const char*>(slot.ptr());
+      return (s == nullptr ? 0 : std::strlen(s)) + 1;
+    }
+    case TypeKind::kSequence: {
+      const Type* elem = t->element()->Resolve();
+      size_t stride = elem->kind() == TypeKind::kOctet ||
+                              elem->kind() == TypeKind::kChar
+                          ? 1
+                          : elem->NativeSize();
+      return slot.length * stride;
+    }
+    default:
+      return t->NativeSize();
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ParamPlan>> ComputeSameDomainPlan(
+    const OperationDecl& op, const OpPresentation& client,
+    const OpPresentation& server) {
+  if (client.args_flattened || client.result_flattened ||
+      server.args_flattened || server.result_flattened) {
+    return UnimplementedError(
+        "flattened presentations are not supported for same-domain "
+        "invocation");
+  }
+  std::vector<ParamPlan> plan;
+  for (size_t i = 0; i < op.params.size(); ++i) {
+    const ParamDecl& decl = op.params[i];
+    ParamPlan p;
+    p.param_index = static_cast<int>(i);
+    p.is_in = decl.dir != ParamDir::kOut;
+    p.is_out = decl.dir != ParamDir::kIn;
+    const ParamPresentation* cp = client.FindParam(decl.name);
+    const ParamPresentation* sp = server.FindParam(decl.name);
+    if (cp == nullptr || sp == nullptr) {
+      return UnimplementedError(
+          "same-domain invocation requires both sides to keep IDL "
+          "parameter names");
+    }
+    if (p.is_in && !IsScalarish(decl.type)) {
+      // §4.4.1: copy only when *neither* side relaxed its requirement.
+      p.in_action = (cp->trashable || sp->preserved)
+                        ? InAction::kPassPointer
+                        : InAction::kCopyForServer;
+    }
+    if (p.is_out) {
+      if (IsScalarish(decl.type)) {
+        p.out_action = OutAction::kScalarCopy;
+      } else {
+        bool client_user = cp->alloc == AllocPolicy::kUser;
+        bool server_user = sp->alloc == AllocPolicy::kUser;
+        if (client_user && server_user) {
+          p.out_action = OutAction::kCopyToClient;
+        } else if (client_user) {
+          p.out_action = OutAction::kFillClientBuffer;
+        } else {
+          // Server provides (kUser) or nobody constrained it: the buffer
+          // the server produces is donated to the client either way.
+          p.out_action = OutAction::kPassServerBuffer;
+        }
+      }
+    }
+    plan.push_back(p);
+  }
+  // The result behaves like an out parameter.
+  const Type* result = op.result->Resolve();
+  if (result->kind() != TypeKind::kVoid) {
+    ParamPlan p;
+    p.param_index = -1;
+    p.is_out = true;
+    if (IsScalarish(result)) {
+      p.out_action = OutAction::kScalarCopy;
+    } else {
+      bool client_user = client.result.alloc == AllocPolicy::kUser;
+      bool server_user = server.result.alloc == AllocPolicy::kUser;
+      if (client_user && server_user) {
+        p.out_action = OutAction::kCopyToClient;
+      } else if (client_user) {
+        p.out_action = OutAction::kFillClientBuffer;
+      } else {
+        p.out_action = OutAction::kPassServerBuffer;
+      }
+    }
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+Result<SameDomainConnection> SameDomainConnection::Bind(
+    const OperationDecl& op, const OpPresentation& client,
+    const OpPresentation& server, Arena* arena, WorkFunction work,
+    PlanMode mode) {
+  SameDomainConnection conn;
+  conn.op_ = &op;
+  conn.client_ = &client;
+  conn.server_ = &server;
+  conn.arena_ = arena;
+  conn.work_ = std::move(work);
+  conn.mode_ = mode;
+  FLEXRPC_ASSIGN_OR_RETURN(conn.plan_,
+                           ComputeSameDomainPlan(op, client, server));
+  return conn;
+}
+
+Status SameDomainConnection::Call(ArgVec* args) {
+  if (mode_ == PlanMode::kPerCall) {
+    // The paper's "dumb" implementation: recompute invocation semantics on
+    // every call.
+    FLEXRPC_ASSIGN_OR_RETURN(std::vector<ParamPlan> plan,
+                             ComputeSameDomainPlan(*op_, *client_, *server_));
+    return Execute(plan, args);
+  }
+  return Execute(plan_, args);
+}
+
+Status SameDomainConnection::Execute(const std::vector<ParamPlan>& plan,
+                                     ArgVec* args) {
+  size_t result_slot = args->size() - 1;
+  ArgVec server_args(args->size());
+  // Stub prologue: marshal-by-reference into the server's view.
+  std::vector<void*> stub_copies;
+  for (const ParamPlan& p : plan) {
+    size_t slot = p.param_index < 0 ? result_slot
+                                    : static_cast<size_t>(p.param_index);
+    const Type* type = p.param_index < 0
+                           ? op_->result
+                           : op_->params[static_cast<size_t>(p.param_index)]
+                                 .type;
+    ArgValue& client_slot = (*args)[slot];
+    ArgValue& server_slot = server_args[slot];
+    if (p.is_in) {
+      if (IsScalarish(type)) {
+        server_slot = client_slot;
+      } else if (p.in_action == InAction::kPassPointer) {
+        server_slot = client_slot;  // borrow
+      } else {
+        size_t bytes = BufferBytes(type, client_slot);
+        void* copy = arena_->AllocateBlock(bytes > 0 ? bytes : 1);
+        const Type* t = type->Resolve();
+        if (t->kind() == TypeKind::kStruct || t->kind() == TypeKind::kUnion) {
+          FLEXRPC_RETURN_IF_ERROR(
+              CopyValue(arena_, t, client_slot.ptr(), copy));
+        } else {
+          std::memcpy(copy, client_slot.ptr(), bytes);
+        }
+        ++copies_;
+        bytes_copied_ += bytes;
+        ++stub_allocs_;
+        stub_copies.push_back(copy);
+        server_slot.set_ptr(copy);
+        server_slot.length = client_slot.length;
+        server_slot.capacity = static_cast<uint32_t>(bytes);
+      }
+    }
+    if (p.is_out && p.out_action == OutAction::kFillClientBuffer) {
+      // The server work function writes straight into the client's buffer.
+      server_slot = client_slot;
+    }
+    // kPassServerBuffer / kCopyToClient: the server produces its own
+    // buffer; its slot starts empty.
+  }
+
+  FLEXRPC_RETURN_IF_ERROR(work_(&server_args, arena_));
+
+  // Stub epilogue: deliver out values per plan.
+  for (const ParamPlan& p : plan) {
+    if (!p.is_out) {
+      continue;
+    }
+    size_t slot = p.param_index < 0 ? result_slot
+                                    : static_cast<size_t>(p.param_index);
+    const Type* type = p.param_index < 0
+                           ? op_->result
+                           : op_->params[static_cast<size_t>(p.param_index)]
+                                 .type;
+    ArgValue& client_slot = (*args)[slot];
+    ArgValue& server_slot = server_args[slot];
+    switch (p.out_action) {
+      case OutAction::kScalarCopy:
+        client_slot.scalar = server_slot.scalar;
+        client_slot.length = server_slot.length;
+        break;
+      case OutAction::kPassServerBuffer:
+        client_slot.set_ptr(server_slot.ptr());
+        client_slot.length = server_slot.length;
+        break;
+      case OutAction::kFillClientBuffer:
+        client_slot.length = server_slot.length;
+        break;
+      case OutAction::kCopyToClient: {
+        size_t bytes = BufferBytes(type, server_slot);
+        if (client_slot.capacity < bytes) {
+          return ResourceExhaustedError(
+              "client buffer too small for returned data");
+        }
+        std::memcpy(client_slot.ptr(), server_slot.ptr(), bytes);
+        ++copies_;
+        bytes_copied_ += bytes;
+        client_slot.length = server_slot.length;
+        // The server's donated buffer has been consumed.
+        const ParamPresentation* sp =
+            p.param_index < 0
+                ? &server_->result
+                : server_->FindParam(
+                      op_->params[static_cast<size_t>(p.param_index)].name);
+        if (sp->dealloc == DeallocPolicy::kAlways) {
+          arena_->FreeBlock(server_slot.ptr());
+        }
+        break;
+      }
+    }
+  }
+
+  // Free the temporary copies the stub made for in parameters.
+  for (void* copy : stub_copies) {
+    arena_->FreeBlock(copy);
+  }
+  return Status::Ok();
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,111 @@
+// Same-domain ("short-circuited") invocation with run-time semantics
+// computation — paper §4.4.
+//
+// When client and server share a protection domain, an RPC should cost
+// little more than a procedure call. But invocation *semantics* still
+// matter: may the server scribble on an `in` buffer the client still owns?
+// Who allocates the storage an `out` parameter returns in? A fixed
+// presentation answers these questions the same way for everyone and
+// forces avoidable copies; flexible presentation lets the RPC system derive
+// the cheapest safe action from the two sides' attributes:
+//
+//   in-parameter (copy vs borrow, §4.4.1):
+//     copy needed  ⇔  !client.trashable && !server.preserved
+//
+//   out-parameter (allocation matching, §4.4.2):
+//     server kUser,  client kStub/kAuto → pass the server's buffer (move)
+//     server kStub/kAuto, client kUser  → server fills the client's buffer
+//     both kStub/kAuto                  → stub allocates; client frees
+//     both kUser                        → copy server buffer → client buffer
+//
+// The engine supports both bind-time plan computation and the paper's
+// current "dumb" per-call recomputation (whose overhead §4.4 reports as
+// negligible — bench_ablate_plancache quantifies that).
+
+#ifndef FLEXRPC_SRC_RPC_SAMEDOMAIN_H_
+#define FLEXRPC_SRC_RPC_SAMEDOMAIN_H_
+
+#include <vector>
+
+#include "src/marshal/engine.h"
+#include "src/pdl/apply.h"
+#include "src/rpc/runtime.h"
+#include "src/support/arena.h"
+
+namespace flexrpc {
+
+enum class InAction : uint8_t {
+  kPassPointer,    // borrow is safe: hand the client's pointer through
+  kCopyForServer,  // stub copies so the server may modify freely
+};
+
+enum class OutAction : uint8_t {
+  kScalarCopy,        // plain value copy (fixed-size scalar)
+  kPassServerBuffer,  // move: client consumes the buffer the server
+                      // produced (covers both "server allocates" and the
+                      // unconstrained case where the system allocates)
+  kFillClientBuffer,  // server writes directly into the client's buffer
+  kCopyToClient,      // both sides insisted on their own buffer: copy
+};
+
+struct ParamPlan {
+  int param_index = -1;  // -1 = result
+  bool is_in = false;
+  bool is_out = false;
+  InAction in_action = InAction::kCopyForServer;
+  OutAction out_action = OutAction::kScalarCopy;
+};
+
+// Computes the plan for one operation from the two presentations.
+// Flattened presentations are not supported in same-domain mode.
+Result<std::vector<ParamPlan>> ComputeSameDomainPlan(
+    const OperationDecl& op, const OpPresentation& client,
+    const OpPresentation& server);
+
+class SameDomainConnection {
+ public:
+  enum class PlanMode {
+    kBindTime,  // plan computed once at bind
+    kPerCall,   // the paper's "dumb" mode: recomputed on every invocation
+  };
+
+  // `op`, presentations, and `arena` (the shared domain's allocator) must
+  // outlive the connection.
+  static Result<SameDomainConnection> Bind(const OperationDecl& op,
+                                           const OpPresentation& client,
+                                           const OpPresentation& server,
+                                           Arena* arena, WorkFunction work,
+                                           PlanMode mode =
+                                               PlanMode::kBindTime);
+
+  // Invokes the work function, applying the per-parameter actions. `args`
+  // is laid out by the *client* presentation (slots in client param order,
+  // result last).
+  Status Call(ArgVec* args);
+
+  // Statistics for the Figure 10/11 measurements.
+  uint64_t copies() const { return copies_; }
+  uint64_t bytes_copied() const { return bytes_copied_; }
+  uint64_t stub_allocs() const { return stub_allocs_; }
+  const std::vector<ParamPlan>& plan() const { return plan_; }
+
+ private:
+  SameDomainConnection() = default;
+
+  Status Execute(const std::vector<ParamPlan>& plan, ArgVec* args);
+
+  const OperationDecl* op_ = nullptr;
+  const OpPresentation* client_ = nullptr;
+  const OpPresentation* server_ = nullptr;
+  Arena* arena_ = nullptr;
+  WorkFunction work_;
+  PlanMode mode_ = PlanMode::kBindTime;
+  std::vector<ParamPlan> plan_;
+  uint64_t copies_ = 0;
+  uint64_t bytes_copied_ = 0;
+  uint64_t stub_allocs_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_RPC_SAMEDOMAIN_H_

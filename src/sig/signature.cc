@@ -1,0 +1,413 @@
+#include "src/sig/signature.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+// Stable one-byte tags for the canonical encoding. These are wire-format
+// constants: do not renumber.
+uint8_t KindTag(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return 0;
+    case TypeKind::kBool:
+      return 1;
+    case TypeKind::kOctet:
+      return 2;
+    case TypeKind::kChar:
+      return 3;
+    case TypeKind::kI16:
+      return 4;
+    case TypeKind::kU16:
+      return 5;
+    case TypeKind::kI32:
+      return 6;
+    case TypeKind::kU32:
+      return 7;
+    case TypeKind::kI64:
+      return 8;
+    case TypeKind::kU64:
+      return 9;
+    case TypeKind::kF32:
+      return 10;
+    case TypeKind::kF64:
+      return 11;
+    case TypeKind::kString:
+      return 12;
+    case TypeKind::kSequence:
+      return 13;
+    case TypeKind::kArray:
+      return 14;
+    case TypeKind::kStruct:
+      return 15;
+    case TypeKind::kUnion:
+      return 16;
+    case TypeKind::kObjRef:
+      return 17;
+    case TypeKind::kEnum:   // lowered before encoding
+    case TypeKind::kAlias:  // resolved before encoding
+      break;
+  }
+  return 0xFF;
+}
+
+Result<TypeKind> KindFromTag(uint8_t tag) {
+  static constexpr TypeKind kKinds[] = {
+      TypeKind::kVoid, TypeKind::kBool,  TypeKind::kOctet,
+      TypeKind::kChar, TypeKind::kI16,   TypeKind::kU16,
+      TypeKind::kI32,  TypeKind::kU32,   TypeKind::kI64,
+      TypeKind::kU64,  TypeKind::kF32,   TypeKind::kF64,
+      TypeKind::kString, TypeKind::kSequence, TypeKind::kArray,
+      TypeKind::kStruct, TypeKind::kUnion, TypeKind::kObjRef,
+  };
+  if (tag >= sizeof(kKinds) / sizeof(kKinds[0])) {
+    return DataLossError(StrFormat("bad wire-type tag %u", tag));
+  }
+  return kKinds[tag];
+}
+
+void EncodeWireType(const WireType& type, ByteWriter* out) {
+  out->WriteU8(KindTag(type.kind));
+  switch (type.kind) {
+    case TypeKind::kString:
+      out->WriteU32Be(type.bound);
+      break;
+    case TypeKind::kSequence:
+    case TypeKind::kArray:
+      out->WriteU32Be(type.bound);
+      EncodeWireType(type.children[0], out);
+      break;
+    case TypeKind::kStruct:
+      out->WriteU32Be(static_cast<uint32_t>(type.children.size()));
+      for (const WireType& field : type.children) {
+        EncodeWireType(field, out);
+      }
+      break;
+    case TypeKind::kUnion:
+      out->WriteU32Be(static_cast<uint32_t>(type.children.size()));
+      for (size_t i = 0; i < type.children.size(); ++i) {
+        out->WriteU32Be(type.labels[i]);
+        out->WriteU8(type.defaults[i]);
+        EncodeWireType(type.children[i], out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Result<WireType> DecodeWireType(ByteReader* in, int depth) {
+  if (depth > 32) {
+    return DataLossError("wire-type nesting too deep");
+  }
+  WireType type;
+  FLEXRPC_ASSIGN_OR_RETURN(uint8_t tag, in->ReadU8());
+  FLEXRPC_ASSIGN_OR_RETURN(type.kind, KindFromTag(tag));
+  switch (type.kind) {
+    case TypeKind::kString: {
+      FLEXRPC_ASSIGN_OR_RETURN(type.bound, in->ReadU32Be());
+      break;
+    }
+    case TypeKind::kSequence:
+    case TypeKind::kArray: {
+      FLEXRPC_ASSIGN_OR_RETURN(type.bound, in->ReadU32Be());
+      FLEXRPC_ASSIGN_OR_RETURN(WireType elem, DecodeWireType(in, depth + 1));
+      type.children.push_back(std::move(elem));
+      break;
+    }
+    case TypeKind::kStruct: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t count, in->ReadU32Be());
+      if (count > 4096) {
+        return DataLossError("implausible struct field count");
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        FLEXRPC_ASSIGN_OR_RETURN(WireType field,
+                                 DecodeWireType(in, depth + 1));
+        type.children.push_back(std::move(field));
+      }
+      break;
+    }
+    case TypeKind::kUnion: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t count, in->ReadU32Be());
+      if (count > 4096) {
+        return DataLossError("implausible union arm count");
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        FLEXRPC_ASSIGN_OR_RETURN(uint32_t label, in->ReadU32Be());
+        FLEXRPC_ASSIGN_OR_RETURN(uint8_t is_default, in->ReadU8());
+        FLEXRPC_ASSIGN_OR_RETURN(WireType arm, DecodeWireType(in, depth + 1));
+        type.labels.push_back(label);
+        type.defaults.push_back(is_default);
+        type.children.push_back(std::move(arm));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return type;
+}
+
+}  // namespace
+
+std::string WireType::ToString() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kOctet:
+      return "u8";
+    case TypeKind::kChar:
+      return "char";
+    case TypeKind::kI16:
+      return "i16";
+    case TypeKind::kU16:
+      return "u16";
+    case TypeKind::kI32:
+      return "i32";
+    case TypeKind::kU32:
+      return "u32";
+    case TypeKind::kI64:
+      return "i64";
+    case TypeKind::kU64:
+      return "u64";
+    case TypeKind::kF32:
+      return "f32";
+    case TypeKind::kF64:
+      return "f64";
+    case TypeKind::kString:
+      return bound == 0 ? "string" : StrFormat("string<%u>", bound);
+    case TypeKind::kSequence:
+      return bound == 0
+                 ? StrFormat("seq<%s>", children[0].ToString().c_str())
+                 : StrFormat("seq<%s,%u>", children[0].ToString().c_str(),
+                             bound);
+    case TypeKind::kArray:
+      return StrFormat("%s[%u]", children[0].ToString().c_str(), bound);
+    case TypeKind::kStruct: {
+      std::string out = "{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += children[i].ToString();
+      }
+      return out + "}";
+    }
+    case TypeKind::kUnion: {
+      std::string out = "union{";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += defaults[i] != 0 ? "default" : StrFormat("%u", labels[i]);
+        out += ":";
+        out += children[i].ToString();
+      }
+      return out + "}";
+    }
+    case TypeKind::kObjRef:
+      return "portref";
+    default:
+      return "?";
+  }
+}
+
+WireType WireTypeOf(const Type* type) {
+  const Type* t = type->Resolve();
+  WireType out;
+  switch (t->kind()) {
+    case TypeKind::kEnum:
+      // Enums travel as u32 — name and member set are presentation.
+      out.kind = TypeKind::kU32;
+      return out;
+    case TypeKind::kString:
+      out.kind = TypeKind::kString;
+      out.bound = t->bound();
+      return out;
+    case TypeKind::kSequence:
+      out.kind = TypeKind::kSequence;
+      out.bound = t->bound();
+      out.children.push_back(WireTypeOf(t->element()));
+      return out;
+    case TypeKind::kArray:
+      out.kind = TypeKind::kArray;
+      out.bound = t->bound();
+      out.children.push_back(WireTypeOf(t->element()));
+      return out;
+    case TypeKind::kStruct:
+      out.kind = TypeKind::kStruct;
+      for (const StructField& f : t->fields()) {
+        out.children.push_back(WireTypeOf(f.type));
+      }
+      return out;
+    case TypeKind::kUnion:
+      out.kind = TypeKind::kUnion;
+      for (const UnionArm& arm : t->arms()) {
+        out.labels.push_back(arm.label);
+        out.defaults.push_back(arm.is_default ? 1 : 0);
+        out.children.push_back(WireTypeOf(arm.type));
+      }
+      return out;
+    default:
+      out.kind = t->kind();
+      return out;
+  }
+}
+
+const OpSignature* InterfaceSignature::FindOp(uint32_t opnum) const {
+  for (const OpSignature& op : ops) {
+    if (op.opnum == opnum) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+InterfaceSignature BuildSignature(const InterfaceDecl& itf) {
+  InterfaceSignature sig;
+  sig.interface_name = itf.name;
+  sig.program_number = itf.program_number;
+  sig.version_number = itf.version_number;
+  for (const OperationDecl& op : itf.ops) {
+    OpSignature osig;
+    osig.opnum = op.opnum;
+    osig.oneway = op.oneway;
+    for (const ParamDecl& param : op.params) {
+      osig.dirs.push_back(param.dir);
+      osig.params.push_back(WireTypeOf(param.type));
+    }
+    osig.result = WireTypeOf(op.result);
+    sig.ops.push_back(std::move(osig));
+  }
+  std::sort(sig.ops.begin(), sig.ops.end(),
+            [](const OpSignature& a, const OpSignature& b) {
+              return a.opnum < b.opnum;
+            });
+  return sig;
+}
+
+void EncodeSignature(const InterfaceSignature& sig, ByteWriter* out) {
+  out->WriteU32Be(0x464C5853u);  // "FLXS"
+  out->WriteU32Be(sig.program_number);
+  out->WriteU32Be(sig.version_number);
+  out->WriteU32Be(static_cast<uint32_t>(sig.ops.size()));
+  for (const OpSignature& op : sig.ops) {
+    out->WriteU32Be(op.opnum);
+    out->WriteU8(op.oneway ? 1 : 0);
+    out->WriteU32Be(static_cast<uint32_t>(op.params.size()));
+    for (size_t i = 0; i < op.params.size(); ++i) {
+      out->WriteU8(static_cast<uint8_t>(op.dirs[i]));
+      EncodeWireType(op.params[i], out);
+    }
+    EncodeWireType(op.result, out);
+  }
+}
+
+Result<InterfaceSignature> DecodeSignature(ByteReader* in) {
+  InterfaceSignature sig;
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t magic, in->ReadU32Be());
+  if (magic != 0x464C5853u) {
+    return DataLossError("bad signature magic");
+  }
+  FLEXRPC_ASSIGN_OR_RETURN(sig.program_number, in->ReadU32Be());
+  FLEXRPC_ASSIGN_OR_RETURN(sig.version_number, in->ReadU32Be());
+  FLEXRPC_ASSIGN_OR_RETURN(uint32_t op_count, in->ReadU32Be());
+  if (op_count > 65536) {
+    return DataLossError("implausible operation count");
+  }
+  for (uint32_t i = 0; i < op_count; ++i) {
+    OpSignature op;
+    FLEXRPC_ASSIGN_OR_RETURN(op.opnum, in->ReadU32Be());
+    FLEXRPC_ASSIGN_OR_RETURN(uint8_t oneway, in->ReadU8());
+    op.oneway = oneway != 0;
+    FLEXRPC_ASSIGN_OR_RETURN(uint32_t param_count, in->ReadU32Be());
+    if (param_count > 4096) {
+      return DataLossError("implausible parameter count");
+    }
+    for (uint32_t p = 0; p < param_count; ++p) {
+      FLEXRPC_ASSIGN_OR_RETURN(uint8_t dir, in->ReadU8());
+      if (dir > 2) {
+        return DataLossError("bad parameter direction");
+      }
+      op.dirs.push_back(static_cast<ParamDir>(dir));
+      FLEXRPC_ASSIGN_OR_RETURN(WireType type, DecodeWireType(in, 0));
+      op.params.push_back(std::move(type));
+    }
+    FLEXRPC_ASSIGN_OR_RETURN(op.result, DecodeWireType(in, 0));
+    sig.ops.push_back(std::move(op));
+  }
+  return sig;
+}
+
+bool SignaturesCompatible(const InterfaceSignature& client,
+                          const InterfaceSignature& server,
+                          std::string* why) {
+  auto fail = [&](std::string message) {
+    if (why != nullptr) {
+      *why = std::move(message);
+    }
+    return false;
+  };
+  if (client.program_number != server.program_number) {
+    return fail(StrFormat("program mismatch: client %u vs server %u",
+                          client.program_number, server.program_number));
+  }
+  if (client.version_number != server.version_number) {
+    return fail(StrFormat("version mismatch: client %u vs server %u",
+                          client.version_number, server.version_number));
+  }
+  for (const OpSignature& cop : client.ops) {
+    const OpSignature* sop = server.FindOp(cop.opnum);
+    if (sop == nullptr) {
+      return fail(StrFormat("server lacks operation %u", cop.opnum));
+    }
+    if (cop.oneway != sop->oneway) {
+      return fail(StrFormat("operation %u oneway mismatch", cop.opnum));
+    }
+    if (cop.params.size() != sop->params.size()) {
+      return fail(StrFormat("operation %u parameter count mismatch: %zu vs "
+                            "%zu",
+                            cop.opnum, cop.params.size(),
+                            sop->params.size()));
+    }
+    for (size_t i = 0; i < cop.params.size(); ++i) {
+      if (cop.dirs[i] != sop->dirs[i]) {
+        return fail(StrFormat("operation %u parameter %zu direction "
+                              "mismatch",
+                              cop.opnum, i));
+      }
+      if (!(cop.params[i] == sop->params[i])) {
+        return fail(StrFormat(
+            "operation %u parameter %zu type mismatch: %s vs %s", cop.opnum,
+            i, cop.params[i].ToString().c_str(),
+            sop->params[i].ToString().c_str()));
+      }
+    }
+    if (!(cop.result == sop->result)) {
+      return fail(StrFormat("operation %u result type mismatch: %s vs %s",
+                            cop.opnum, cop.result.ToString().c_str(),
+                            sop->result.ToString().c_str()));
+    }
+  }
+  return true;
+}
+
+uint64_t SignatureHash(const InterfaceSignature& sig) {
+  ByteWriter w;
+  EncodeSignature(sig, &w);
+  // FNV-1a over the canonical encoding.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint8_t byte : w.span()) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace flexrpc

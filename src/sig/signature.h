@@ -1,0 +1,87 @@
+// Wire-contract ("network contract") signatures.
+//
+// A signature captures exactly the information the paper's specialized
+// transport registers with the kernel at bind time (§4.5): for every
+// operation, the structural wire type of each parameter and of the result.
+// Signatures are *structural* — type names, parameter names, and every
+// presentation attribute are erased — which is the embodiment of the
+// paper's separation: two endpoints with arbitrarily different PDL files
+// still register identical signatures, so the kernel can verify that any
+// client interoperates with any server of the same interface.
+
+#ifndef FLEXRPC_SRC_SIG_SIGNATURE_H_
+#define FLEXRPC_SRC_SIG_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/idl/ast.h"
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// Structural wire type: a tree with all names and aliases erased.
+struct WireType {
+  TypeKind kind = TypeKind::kVoid;
+  uint32_t bound = 0;                // string/sequence bound, array count
+  std::vector<WireType> children;    // element / fields / union arms
+  std::vector<uint32_t> labels;      // union arm labels (children aligned)
+  std::vector<uint8_t> defaults;     // union arm is_default flags
+
+  bool operator==(const WireType&) const = default;
+
+  // Canonical spelling for diagnostics, e.g. "seq<u8,8192>".
+  std::string ToString() const;
+};
+
+// Builds the structural wire type of `type` (aliases resolved, enums
+// lowered to u32, object references lowered to a port-reference slot).
+WireType WireTypeOf(const Type* type);
+
+struct OpSignature {
+  uint32_t opnum = 0;
+  bool oneway = false;
+  std::vector<ParamDir> dirs;
+  std::vector<WireType> params;
+  WireType result;
+
+  bool operator==(const OpSignature&) const = default;
+};
+
+struct InterfaceSignature {
+  // Informational only — not part of structural compatibility.
+  std::string interface_name;
+  uint32_t program_number = 0;
+  uint32_t version_number = 0;
+
+  std::vector<OpSignature> ops;  // sorted by opnum
+
+  const OpSignature* FindOp(uint32_t opnum) const;
+};
+
+// Derives the signature of a (flattened) interface declaration.
+InterfaceSignature BuildSignature(const InterfaceDecl& itf);
+
+// Canonical byte encoding — what an endpoint registers with the kernel.
+// Encoding is deterministic: equal signatures encode to equal bytes.
+void EncodeSignature(const InterfaceSignature& sig, ByteWriter* out);
+Result<InterfaceSignature> DecodeSignature(ByteReader* in);
+
+// Structural compatibility check performed at bind time. A client is
+// compatible with a server when every operation the client may invoke
+// exists on the server with identical parameter directions and wire types.
+// (The server may implement more operations than the client uses.)
+// On mismatch, `why` (if non-null) receives a human-readable explanation.
+bool SignaturesCompatible(const InterfaceSignature& client,
+                          const InterfaceSignature& server,
+                          std::string* why = nullptr);
+
+// A short stable hash of the encoded signature, used as a cheap identity
+// for combination-signature caching.
+uint64_t SignatureHash(const InterfaceSignature& sig);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SIG_SIGNATURE_H_

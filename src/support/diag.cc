@@ -1,0 +1,44 @@
+#include "src/support/diag.h"
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+const char* SeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return StrFormat("%s:%d:%d: %s: %s", file.c_str(), pos.line, pos.column,
+                   SeverityName(severity), message.c_str());
+}
+
+void DiagnosticSink::Add(DiagSeverity severity, std::string file,
+                         SourcePos pos, std::string message) {
+  if (severity == DiagSeverity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back(
+      Diagnostic{severity, std::move(file), pos, std::move(message)});
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::string out;
+  for (const Diagnostic& diag : diagnostics_) {
+    out += diag.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace flexrpc

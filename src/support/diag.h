@@ -1,0 +1,61 @@
+// Shared diagnostics machinery for the IDL and PDL front-ends.
+//
+// Parsers report errors through a DiagnosticSink rather than aborting, so a
+// single compiler run can surface multiple problems, and tests can assert on
+// exact diagnostic locations.
+
+#ifndef FLEXRPC_SRC_SUPPORT_DIAG_H_
+#define FLEXRPC_SRC_SUPPORT_DIAG_H_
+
+#include <string>
+#include <vector>
+
+namespace flexrpc {
+
+// 1-based line/column position within a named source buffer.
+struct SourcePos {
+  int line = 1;
+  int column = 1;
+
+  bool operator==(const SourcePos&) const = default;
+};
+
+enum class DiagSeverity { kError, kWarning, kNote };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  std::string file;
+  SourcePos pos;
+  std::string message;
+
+  // "file:line:col: error: message"
+  std::string ToString() const;
+};
+
+class DiagnosticSink {
+ public:
+  void Error(std::string file, SourcePos pos, std::string message) {
+    Add(DiagSeverity::kError, std::move(file), pos, std::move(message));
+  }
+  void Warning(std::string file, SourcePos pos, std::string message) {
+    Add(DiagSeverity::kWarning, std::move(file), pos, std::move(message));
+  }
+
+  void Add(DiagSeverity severity, std::string file, SourcePos pos,
+           std::string message);
+
+  bool HasErrors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // All diagnostics joined with newlines; convenient for test failure output.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int error_count_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_DIAG_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generator for tests and workload
+// generators. SplitMix64: tiny, fast, and reproducible across platforms,
+// which keeps property tests and benchmark workloads stable.
+
+#ifndef FLEXRPC_SRC_SUPPORT_RNG_H_
+#define FLEXRPC_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace flexrpc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound) {
+    return bound == 0 ? 0 : NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  bool NextBool() { return (NextU64() & 1) != 0; }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(NextU64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_RNG_H_

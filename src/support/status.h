@@ -1,0 +1,144 @@
+// Lightweight error-handling primitives used throughout flexrpc.
+//
+// The library does not use exceptions for anticipated failures (parse errors,
+// transport failures, exhausted pools). Functions that can fail return a
+// Status, or a Result<T> when they also produce a value.
+
+#ifndef FLEXRPC_SRC_SUPPORT_STATUS_H_
+#define FLEXRPC_SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace flexrpc {
+
+// Coarse error taxonomy. Codes are stable and intended for programmatic
+// dispatch; the message carries the human-readable detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something structurally wrong
+  kNotFound,           // name/port/file lookup failed
+  kAlreadyExists,      // duplicate registration
+  kFailedPrecondition, // object in wrong state for the operation
+  kOutOfRange,         // index/offset beyond bounds
+  kResourceExhausted,  // pool/queue/arena is full
+  kUnimplemented,      // feature intentionally not supported
+  kDataLoss,           // malformed or truncated wire data
+  kPermissionDenied,   // trust/contract violation
+  kInternal,           // invariant violation ("should never happen")
+};
+
+// Returns the canonical spelling of a code, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors mirroring the code names.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or a non-OK Status. Accessing the value when the result
+// holds an error is a programming bug and asserts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : storage_(std::move(status)) {           // NOLINT
+    assert(!std::get<Status>(storage_).ok() &&
+           "cannot construct Result<T> from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagates a non-OK Status out of the current function.
+#define FLEXRPC_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    ::flexrpc::Status _st = (expr);          \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns its status, otherwise
+// moves the value into `lhs` (which must be a declaration or assignable).
+#define FLEXRPC_ASSIGN_OR_RETURN(lhs, expr)                \
+  FLEXRPC_ASSIGN_OR_RETURN_IMPL_(                          \
+      FLEXRPC_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define FLEXRPC_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                   \
+  if (!result.ok()) {                                     \
+    return result.status();                               \
+  }                                                       \
+  lhs = std::move(result).value()
+
+#define FLEXRPC_STATUS_CONCAT_INNER_(a, b) a##b
+#define FLEXRPC_STATUS_CONCAT_(a, b) FLEXRPC_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_STATUS_H_

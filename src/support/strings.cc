@@ -1,0 +1,131 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace flexrpc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string_view> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StrTrim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StrStartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool StrEndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool IsCIdentifier(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head = static_cast<unsigned char>(name[0]);
+  if (!std::isalpha(head) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    auto uc = static_cast<unsigned char>(c);
+    if (!std::isalnum(uc) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ToCamelCase(std::string_view snake) {
+  std::string out;
+  bool upper_next = true;
+  for (char c : snake) {
+    if (c == '_') {
+      upper_next = true;
+      continue;
+    }
+    out += upper_next
+               ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+               : c;
+    upper_next = false;
+  }
+  return out;
+}
+
+std::string Indent(std::string_view text, int spaces) {
+  std::string pad(static_cast<size_t>(spaces), ' ');
+  std::string out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find('\n', start);
+    std::string_view line =
+        pos == std::string_view::npos ? text.substr(start)
+                                      : text.substr(start, pos - start);
+    if (!line.empty()) {
+      out += pad;
+      out += line;
+    }
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    out += '\n';
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,41 @@
+// Small string utilities shared by the compiler front-ends and code
+// generators. GCC 12 lacks <format>, so StrFormat wraps vsnprintf.
+
+#ifndef FLEXRPC_SRC_SUPPORT_STRINGS_H_
+#define FLEXRPC_SRC_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexrpc {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits on a single character; empty fields are kept.
+std::vector<std::string_view> StrSplit(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+bool StrEndsWith(std::string_view text, std::string_view suffix);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// True if `name` is a valid C identifier.
+bool IsCIdentifier(std::string_view name);
+
+// "foo_bar" -> "FooBar".
+std::string ToCamelCase(std::string_view snake);
+
+// Indents every line of `text` by `spaces` spaces.
+std::string Indent(std::string_view text, int spaces);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_STRINGS_H_

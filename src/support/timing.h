@@ -1,0 +1,57 @@
+// Timing utilities.
+//
+// Stopwatch measures real (host) CPU wall time for the work the benchmarks
+// perform. VirtualClock accumulates *modeled* time for components that are
+// simulated rather than executed (the Ethernet link and remote server in the
+// Figure 2 experiment); the two are reported separately, exactly as the paper
+// separates "network + server processing" from "client processing".
+
+#ifndef FLEXRPC_SRC_SUPPORT_TIMING_H_
+#define FLEXRPC_SRC_SUPPORT_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace flexrpc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates simulated time, advanced explicitly by models (e.g. a link
+// model charging bytes/bandwidth + per-packet latency).
+class VirtualClock {
+ public:
+  void AdvanceNanos(uint64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceSeconds(double seconds) {
+    now_nanos_ += static_cast<uint64_t>(seconds * 1e9);
+  }
+  uint64_t now_nanos() const { return now_nanos_; }
+  double now_seconds() const { return static_cast<double>(now_nanos_) * 1e-9; }
+  void Reset() { now_nanos_ = 0; }
+
+ private:
+  uint64_t now_nanos_ = 0;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_TIMING_H_

@@ -1,0 +1,318 @@
+// Tests for the pipe server application in all three configurations:
+// fast-path RPC (default and zero-copy presentations), fbuf transport
+// (standard and [special]), and the monolithic reference pipe.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/apps/pipe.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/support/rng.h"
+
+namespace flexrpc {
+namespace {
+
+TEST(PipeBufferTest, FifoByteStream) {
+  Arena arena("a");
+  PipeBuffer pipe(&arena, 16);
+  EXPECT_EQ(pipe.Write(reinterpret_cast<const uint8_t*>("abcdef"), 6), 6u);
+  uint8_t out[4];
+  EXPECT_EQ(pipe.Read(out, 4), 4u);
+  EXPECT_EQ(std::memcmp(out, "abcd", 4), 0);
+  EXPECT_EQ(pipe.available(), 2u);
+}
+
+TEST(PipeBufferTest, FlowControlAtCapacity) {
+  Arena arena("a");
+  PipeBuffer pipe(&arena, 8);
+  uint8_t data[12] = {};
+  EXPECT_EQ(pipe.Write(data, 12), 8u);  // only capacity accepted
+  EXPECT_EQ(pipe.Write(data, 1), 0u);   // full: accept nothing
+  uint8_t out[8];
+  EXPECT_EQ(pipe.Read(out, 8), 8u);
+  EXPECT_EQ(pipe.Write(data, 12), 8u);  // space again
+}
+
+TEST(PipeBufferTest, WrapAroundPreservesData) {
+  Arena arena("a");
+  PipeBuffer pipe(&arena, 8);
+  uint8_t out[8];
+  ASSERT_EQ(pipe.Write(reinterpret_cast<const uint8_t*>("12345"), 5), 5u);
+  ASSERT_EQ(pipe.Read(out, 3), 3u);
+  // Now head=3; writing 6 bytes wraps.
+  ASSERT_EQ(pipe.Write(reinterpret_cast<const uint8_t*>("ABCDEF"), 6), 6u);
+  ASSERT_EQ(pipe.Read(out, 8), 8u);
+  EXPECT_EQ(std::memcmp(out, "45ABCDEF", 8), 0);
+}
+
+TEST(PipeBufferTest, PeekConsumeZeroCopy) {
+  Arena arena("a");
+  PipeBuffer pipe(&arena, 8);
+  pipe.Write(reinterpret_cast<const uint8_t*>("xyz"), 3);
+  auto [ptr, len] = pipe.Peek(10);
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(ptr[0], 'x');
+  pipe.Consume(2);
+  auto [ptr2, len2] = pipe.Peek(10);
+  EXPECT_EQ(len2, 1u);
+  EXPECT_EQ(ptr2[0], 'z');
+}
+
+TEST(PipeBufferTest, PeekShortAtWrap) {
+  Arena arena("a");
+  PipeBuffer pipe(&arena, 8);
+  uint8_t out[6];
+  pipe.Write(reinterpret_cast<const uint8_t*>("123456"), 6);
+  pipe.Read(out, 6);  // head = 6
+  pipe.Write(reinterpret_cast<const uint8_t*>("ABCD"), 4);  // wraps at 8
+  auto [ptr, len] = pipe.Peek(4);
+  EXPECT_EQ(len, 2u);  // only to the wrap point
+  EXPECT_EQ(ptr[0], 'A');
+}
+
+class PipeRpcTest
+    : public ::testing::TestWithParam<PipeServerApp::ReadPresentation> {
+ protected:
+  void SetUp() override {
+    DiagnosticSink diags;
+    idl_ = ParseCorbaIdl(PipeIdlText(), "pipe.idl", &diags);
+    ASSERT_NE(idl_, nullptr) << diags.ToString();
+    ASSERT_TRUE(AnalyzeInterfaceFile(idl_.get(), &diags));
+    app_ = std::make_unique<PipeServerApp>(&kernel_, &fastpath_, *idl_,
+                                           GetParam(), 4096);
+    writer_ = kernel_.CreateTask("writer");
+    reader_ = kernel_.CreateTask("reader");
+    DiagnosticSink d2;
+    ASSERT_TRUE(ApplyPdl(*idl_, Side::kClient, nullptr, &client_pres_, &d2));
+    auto wconn = RpcConnection::Bind(
+        &kernel_, &fastpath_, writer_, app_->port(), app_->server(),
+        idl_->interfaces[0], *client_pres_.Find("FileIO"));
+    ASSERT_TRUE(wconn.ok()) << wconn.status().ToString();
+    write_conn_ = std::move(*wconn);
+    auto rconn = RpcConnection::Bind(
+        &kernel_, &fastpath_, reader_, app_->port(), app_->server(),
+        idl_->interfaces[0], *client_pres_.Find("FileIO"));
+    ASSERT_TRUE(rconn.ok());
+    read_conn_ = std::move(*rconn);
+  }
+
+  size_t Write(const uint8_t* data, size_t len) {
+    const MarshalProgram* prog = write_conn_->ProgramFor("write");
+    ArgVec args(prog->slot_count());
+    args[prog->SlotOf("data")].set_ptr(data);
+    args[prog->SlotOf("data")].length = static_cast<uint32_t>(len);
+    Status st = write_conn_->Call("write", &args);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return args[prog->result_slot()].scalar;
+  }
+
+  size_t Read(uint8_t* dst, size_t len) {
+    const MarshalProgram* prog = read_conn_->ProgramFor("read");
+    ArgVec args(prog->slot_count());
+    args[prog->SlotOf("count")].scalar = len;
+    Status st = read_conn_->Call("read", &args);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    size_t got = args[prog->result_slot()].length;
+    std::memcpy(dst, args[prog->result_slot()].ptr(), got);
+    reader_->space().Free(args[prog->result_slot()].ptr());
+    return got;
+  }
+
+  Kernel kernel_;
+  FastPath fastpath_{&kernel_};
+  std::unique_ptr<InterfaceFile> idl_;
+  std::unique_ptr<PipeServerApp> app_;
+  PresentationSet client_pres_;
+  Task* writer_ = nullptr;
+  Task* reader_ = nullptr;
+  std::unique_ptr<RpcConnection> write_conn_;
+  std::unique_ptr<RpcConnection> read_conn_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Presentations, PipeRpcTest,
+    ::testing::Values(PipeServerApp::ReadPresentation::kDefault,
+                      PipeServerApp::ReadPresentation::kZeroCopy),
+    [](const auto& param_info) {
+      return param_info.param == PipeServerApp::ReadPresentation::kDefault
+                 ? "Default"
+                 : "ZeroCopy";
+    });
+
+TEST_P(PipeRpcTest, BytesFlowInOrder) {
+  uint8_t data[100];
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Write(data, 100), 100u);
+  uint8_t out[100];
+  size_t got = 0;
+  while (got < 100) {
+    got += Read(out + got, 100 - got);
+  }
+  EXPECT_EQ(std::memcmp(out, data, 100), 0);
+}
+
+TEST_P(PipeRpcTest, FlowControlStopsWriter) {
+  std::vector<uint8_t> big(8192, 0x42);
+  size_t accepted = Write(big.data(), big.size());
+  EXPECT_EQ(accepted, 4096u);  // pipe capacity
+  EXPECT_EQ(Write(big.data(), 100), 0u);
+}
+
+TEST_P(PipeRpcTest, RandomizedStreamIntegrity) {
+  // Property: the reader observes exactly the writer's byte stream, under
+  // a random schedule of partial reads and writes.
+  Rng rng(GetParam() == PipeServerApp::ReadPresentation::kDefault ? 1 : 2);
+  std::vector<uint8_t> sent;
+  std::vector<uint8_t> received;
+  uint8_t next_byte = 0;
+  while (sent.size() < 64 * 1024 || received.size() < sent.size()) {
+    bool do_write = sent.size() < 64 * 1024 && rng.NextBool();
+    if (do_write) {
+      size_t n = 1 + rng.NextBelow(3000);
+      std::vector<uint8_t> chunk(n);
+      for (auto& b : chunk) {
+        b = next_byte++;
+      }
+      size_t accepted = Write(chunk.data(), n);
+      sent.insert(sent.end(), chunk.begin(), chunk.begin() +
+                                                 static_cast<long>(accepted));
+      next_byte = static_cast<uint8_t>(
+          sent.empty() ? 0 : sent.back() + 1);  // rewind unaccepted bytes
+    } else {
+      uint8_t buf[4096];
+      size_t n = 1 + rng.NextBelow(sizeof(buf));
+      size_t got = Read(buf, n);
+      received.insert(received.end(), buf, buf + got);
+    }
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  EXPECT_EQ(std::memcmp(received.data(), sent.data(), sent.size()), 0);
+}
+
+TEST_P(PipeRpcTest, NoServerLeaksAfterManyTransfers) {
+  std::vector<uint8_t> data(1024, 0x3C);
+  uint8_t out[1024];
+  for (int i = 0; i < 200; ++i) {
+    size_t accepted = Write(data.data(), data.size());
+    size_t got = 0;
+    while (got < accepted) {
+      got += Read(out, sizeof(out));
+    }
+  }
+  EXPECT_EQ(app_->task()->space().arena().live_blocks(), 0u);
+}
+
+TEST_P(PipeRpcTest, ZeroCopyAvoidsServerCopies) {
+  std::vector<uint8_t> data(2048, 0x11);
+  Write(data.data(), data.size());
+  uint8_t out[2048];
+  size_t got = 0;
+  while (got < 2048) {
+    got += Read(out + got, 2048 - got);
+  }
+  if (GetParam() == PipeServerApp::ReadPresentation::kZeroCopy) {
+    EXPECT_EQ(app_->read_copies(), 0u);
+  } else {
+    EXPECT_GT(app_->read_copies(), 0u);
+  }
+}
+
+// --- fbuf pipe ---
+
+class FbufPipeTest
+    : public ::testing::TestWithParam<PipeServerFbuf::Presentation> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Presentations, FbufPipeTest,
+    ::testing::Values(PipeServerFbuf::Presentation::kStandard,
+                      PipeServerFbuf::Presentation::kSpecial),
+    [](const auto& param_info) {
+      return param_info.param == PipeServerFbuf::Presentation::kStandard
+                 ? "Standard"
+                 : "Special";
+    });
+
+TEST_P(FbufPipeTest, StreamIntegrity) {
+  Kernel kernel;
+  Arena shared("shared-path");
+  Arena server_arena("pipe-server");
+  FbufChannel channel(&kernel, &shared, 4096, 64);
+  PipeServerFbuf server(&channel, GetParam(), &server_arena, 8192);
+
+  Rng rng(99);
+  std::vector<uint8_t> sent;
+  std::vector<uint8_t> received;
+  uint8_t next = 0;
+  while (sent.size() < 128 * 1024 || received.size() < sent.size()) {
+    if (sent.size() < 128 * 1024 && rng.NextBool()) {
+      // Keep writes >= 512 bytes: a tiny queued segment pins its whole
+      // 4 KiB fbuf, and the pool must outlast the worst-case pin count.
+      size_t n = 512 + rng.NextBelow(5500);
+      std::vector<uint8_t> chunk(n);
+      for (auto& b : chunk) {
+        b = next++;
+      }
+      size_t accepted = 0;
+      ASSERT_TRUE(FbufPipeWrite(&channel, chunk.data(), n, &accepted).ok());
+      sent.insert(sent.end(), chunk.begin(),
+                  chunk.begin() + static_cast<long>(accepted));
+      next = static_cast<uint8_t>(sent.empty() ? 0 : sent.back() + 1);
+    } else {
+      uint8_t buf[8192];
+      size_t n = 1 + rng.NextBelow(sizeof(buf));
+      size_t got = 0;
+      ASSERT_TRUE(FbufPipeRead(&channel, buf, n, &got).ok());
+      received.insert(received.end(), buf, buf + got);
+    }
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  EXPECT_EQ(std::memcmp(received.data(), sent.data(), sent.size()), 0);
+  // All fbufs returned to the pool once the stream drained.
+  EXPECT_EQ(channel.pool().in_use(), 0u);
+}
+
+TEST_P(FbufPipeTest, SpecialPresentationEliminatesServerCopies) {
+  Kernel kernel;
+  Arena shared("shared-path");
+  Arena server_arena("pipe-server");
+  FbufChannel channel(&kernel, &shared, 4096, 64);
+  PipeServerFbuf server(&channel, GetParam(), &server_arena, 8192);
+
+  std::vector<uint8_t> data(4096, 0xAD);
+  size_t accepted = 0;
+  ASSERT_TRUE(
+      FbufPipeWrite(&channel, data.data(), data.size(), &accepted).ok());
+  uint8_t out[4096];
+  size_t got = 0;
+  ASSERT_TRUE(FbufPipeRead(&channel, out, sizeof(out), &got).ok());
+  EXPECT_EQ(got, 4096u);
+  EXPECT_EQ(out[0], 0xAD);
+  if (GetParam() == PipeServerFbuf::Presentation::kSpecial) {
+    EXPECT_EQ(server.server_copies(), 0u);
+  } else {
+    EXPECT_GE(server.server_copies(), 2u);
+  }
+}
+
+TEST(MonolithicPipeTest, CopyInCopyOut) {
+  Kernel kernel;
+  Arena kernel_space("kernel");
+  AddressSpace writer("writer");
+  AddressSpace reader("reader");
+  MonolithicPipe pipe(&kernel, &kernel_space, 4096);
+
+  uint8_t data[512];
+  std::memset(data, 0x66, sizeof(data));
+  EXPECT_EQ(pipe.Write(&writer, data, sizeof(data)), 512u);
+  uint8_t out[512];
+  EXPECT_EQ(pipe.Read(&reader, out, sizeof(out)), 512u);
+  EXPECT_EQ(out[100], 0x66);
+  EXPECT_EQ(kernel.trap_count(), 4u);  // 2 syscalls x enter/exit
+}
+
+}  // namespace
+}  // namespace flexrpc

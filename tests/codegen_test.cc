@@ -1,0 +1,223 @@
+// Tests for the C++ stub generator: prototype shapes under different
+// presentations (the paper's §1 point rendered in generated code), type
+// layout emission, and structural sanity of the output.
+//
+// Compile-level verification of generated code happens in the build: the
+// quickstart example is built from idlc output (see examples/).
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/cpp_gen.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/idl/sunrpc_parser.h"
+
+namespace flexrpc {
+namespace {
+
+struct Generated {
+  GeneratedCode code;
+};
+
+Generated Generate(std::string_view idl_src, bool sun,
+                   std::string_view client_pdl,
+                   std::string_view server_pdl) {
+  DiagnosticSink diags;
+  auto idl = sun ? ParseSunRpc(idl_src, "t.x", &diags)
+                 : ParseCorbaIdl(idl_src, "t.idl", &diags);
+  EXPECT_NE(idl, nullptr) << diags.ToString();
+  EXPECT_TRUE(AnalyzeInterfaceFile(idl.get(), &diags)) << diags.ToString();
+  PresentationSet client;
+  PresentationSet server;
+  if (client_pdl.empty()) {
+    EXPECT_TRUE(ApplyPdl(*idl, Side::kClient, nullptr, &client, &diags));
+  } else {
+    EXPECT_TRUE(ApplyPdlText(*idl, Side::kClient, client_pdl, "c.pdl",
+                             &client, &diags))
+        << diags.ToString();
+  }
+  if (server_pdl.empty()) {
+    EXPECT_TRUE(ApplyPdl(*idl, Side::kServer, nullptr, &server, &diags));
+  } else {
+    EXPECT_TRUE(ApplyPdlText(*idl, Side::kServer, server_pdl, "s.pdl",
+                             &server, &diags))
+        << diags.ToString();
+  }
+  CppGenOptions options;
+  options.header_name = "t.flexgen.h";
+  auto generated = GenerateCpp(*idl, client, server, options);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  return Generated{std::move(*generated)};
+}
+
+bool Contains(const std::string& haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+constexpr char kSysLogIdl[] =
+    "interface SysLog { void write_msg(in string msg); };";
+
+TEST(CodegenTest, DefaultSysLogPrototypeMatchesCorbaMapping) {
+  Generated g = Generate(kSysLogIdl, false, "", "");
+  // The paper's "standard presentation": NUL-terminated string only.
+  EXPECT_TRUE(Contains(g.code.header,
+                       "flexrpc::Status write_msg(const char* msg);"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, AlternateSysLogPrototypeAddsLength) {
+  // The paper's alternate presentation (§1): an explicit length parameter.
+  Generated g = Generate(
+      kSysLogIdl, false,
+      "SysLog_write_msg(,, char *[length_is(length)] msg, int length);",
+      "");
+  EXPECT_TRUE(Contains(
+      g.code.header,
+      "flexrpc::Status write_msg(const char* msg, uint32_t length);"))
+      << g.code.header;
+  // The server (default presentation) is unchanged: interoperability.
+  EXPECT_TRUE(Contains(g.code.header,
+                       "virtual flexrpc::Status write_msg(const char* "
+                       "msg) = 0;"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, StructLayoutEmittedWithAsserts) {
+  Generated g = Generate(R"(
+    struct fattr { unsigned long size; unsigned long mtime; };
+    interface I { void f(in fattr a); };
+  )", false, "", "");
+  EXPECT_TRUE(Contains(g.code.header, "struct fattr {"));
+  EXPECT_TRUE(Contains(g.code.header, "uint32_t size;"));
+  EXPECT_TRUE(Contains(g.code.header, "static_assert(sizeof(fattr) == 8,"));
+}
+
+TEST(CodegenTest, EnumAndUnionEmitted) {
+  Generated g = Generate(R"(
+    enum color { RED = 0, BLUE = 5 };
+    union pick switch (color) { case 0: long r; default: double d; };
+    interface I { void f(in pick p); };
+  )", false, "", "");
+  EXPECT_TRUE(Contains(g.code.header, "enum class color : uint32_t {"));
+  EXPECT_TRUE(Contains(g.code.header, "BLUE = 5,"));
+  EXPECT_TRUE(Contains(g.code.header, "struct pick {"));
+  EXPECT_TRUE(Contains(g.code.header, "uint32_t _d;"));
+  EXPECT_TRUE(Contains(g.code.header, "static_assert(sizeof(pick) == 16,"));
+}
+
+TEST(CodegenTest, SequenceOutDefaultUsesMoveForm) {
+  Generated g = Generate(
+      "interface B { void fetch(in unsigned long n, "
+      "out sequence<octet> data); };",
+      false, "", "");
+  // Client consumes a stub-allocated buffer (CORBA move).
+  EXPECT_TRUE(Contains(g.code.header,
+                       "fetch(uint32_t n, uint8_t** data, uint32_t* "
+                       "data_len);"))
+      << g.code.header;
+  // Server donates its own buffer.
+  EXPECT_TRUE(Contains(g.code.header,
+                       "virtual flexrpc::Status fetch(uint32_t n, "
+                       "uint8_t** data, uint32_t* data_len) = 0;"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, AllocUserChangesClientPrototype) {
+  Generated g = Generate(
+      "interface B { void fetch(in unsigned long n, "
+      "out sequence<octet> data); };",
+      false, "B_fetch(unsigned long n, char *[alloc(user)] data);", "");
+  EXPECT_TRUE(Contains(g.code.header,
+                       "fetch(uint32_t n, uint8_t* data, uint32_t "
+                       "data_capacity, uint32_t* data_len);"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, FlattenedNfsPrototype) {
+  Generated g = Generate(R"(
+const NFS_MAXDATA = 8192;
+const NFS_FHSIZE = 32;
+enum nfsstat { NFS_OK = 0, NFSERR_IO = 5 };
+struct nfs_fh { opaque data[NFS_FHSIZE]; };
+struct fattr { unsigned size; unsigned mtime; };
+struct readargs { nfs_fh file; unsigned offset; unsigned count;
+                  unsigned totalcount; };
+struct readokres { fattr attributes; opaque data<NFS_MAXDATA>; };
+union readres switch (nfsstat status) {
+  case NFS_OK: readokres reply;
+  default: void;
+};
+program NFS_PROGRAM {
+  version NFS_VERSION { readres NFSPROC_READ(readargs) = 6; } = 2;
+} = 100003;
+)", true, R"(
+  [comm_status] int NFSPROC_READ(file, offset, count, totalcount,
+      [special] data, attributes, status);
+)", "");
+  // The Figure 1 prototype: flattened fields, user data buffer,
+  // attributes/status as out params, no union in sight.
+  EXPECT_TRUE(Contains(
+      g.code.header,
+      "NFSPROC_READ(const nfs_fh* file, uint32_t offset, uint32_t count, "
+      "uint32_t totalcount, uint8_t* data, uint32_t data_capacity, "
+      "uint32_t* data_len, fattr* attributes, nfsstat* status);"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, ServerRegisterInstallsAllOps) {
+  Generated g = Generate(R"(
+    interface KV {
+      sequence<octet> get(in string key);
+      void put(in string key, in sequence<octet> value);
+    };
+  )", false, "", "");
+  EXPECT_TRUE(Contains(g.code.source, "server->SetWork(\"get\""));
+  EXPECT_TRUE(Contains(g.code.source, "server->SetWork(\"put\""));
+  EXPECT_TRUE(Contains(g.code.source, "void KVServerBase::Register"));
+}
+
+TEST(CodegenTest, ClientBodyRoutesThroughMarshalProgram) {
+  Generated g = Generate(kSysLogIdl, false, "", "");
+  EXPECT_TRUE(Contains(g.code.source,
+                       "conn_->ProgramFor(\"write_msg\")"));
+  EXPECT_TRUE(Contains(g.code.source, "conn_->Call(\"write_msg\", &args)"));
+}
+
+TEST(CodegenTest, ArrayTypedefUsesDeclaratorForm) {
+  Generated g = Generate(R"(
+    typedef long grid[4][3];
+    interface I { void f(in grid g); };
+  )", false, "", "");
+  EXPECT_TRUE(Contains(g.code.header, "typedef int32_t grid[4][3];"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, ScalarOutParamsByPointer) {
+  Generated g = Generate(
+      "interface C { void stat(in long id, out unsigned long size, "
+      "out double ratio); };",
+      false, "", "");
+  EXPECT_TRUE(Contains(g.code.header,
+                       "stat(int32_t id, uint32_t* size, double* ratio);"))
+      << g.code.header;
+}
+
+TEST(CodegenTest, DeterministicOutput) {
+  Generated a = Generate(kSysLogIdl, false, "", "");
+  Generated b = Generate(kSysLogIdl, false, "", "");
+  EXPECT_EQ(a.code.header, b.code.header);
+  EXPECT_EQ(a.code.source, b.code.source);
+}
+
+TEST(CodegenTest, ResultScalarReturnsViaOutParam) {
+  Generated g = Generate(
+      "interface P { unsigned long write(in sequence<octet> data); };",
+      false, "", "");
+  EXPECT_TRUE(Contains(g.code.header,
+                       "write(const uint8_t* data, uint32_t data_len, "
+                       "uint32_t* _return);"))
+      << g.code.header;
+}
+
+}  // namespace
+}  // namespace flexrpc

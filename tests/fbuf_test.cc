@@ -1,0 +1,236 @@
+// Tests for the fbuf substrate: pool lifecycle, aggregate splicing and
+// splitting, refcount conservation, and the fbuf channel.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/fbuf/channel.h"
+#include "src/fbuf/fbuf.h"
+#include "src/support/rng.h"
+
+namespace flexrpc {
+namespace {
+
+class FbufTest : public ::testing::Test {
+ protected:
+  Arena shared_{"shared-path"};
+};
+
+TEST_F(FbufTest, PoolAllocateFreeCycle) {
+  FbufPool pool("p", &shared_, 4096, 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.free_count(), 4u);
+
+  auto fbuf = pool.Allocate();
+  ASSERT_TRUE(fbuf.ok());
+  EXPECT_EQ((*fbuf)->size(), 4096u);
+  EXPECT_EQ((*fbuf)->refs(), 1u);
+  EXPECT_EQ(pool.in_use(), 1u);
+
+  (*fbuf)->Unref();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.allocations(), 1u);
+}
+
+TEST_F(FbufTest, PoolExhaustionIsReported) {
+  FbufPool pool("p", &shared_, 128, 2);
+  auto a = pool.Allocate();
+  auto b = pool.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.Allocate();
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.exhaustions(), 1u);
+  (*a)->Unref();
+  auto d = pool.Allocate();  // freed buffer becomes available again
+  EXPECT_TRUE(d.ok());
+  (*b)->Unref();
+  (*d)->Unref();
+}
+
+TEST_F(FbufTest, VolatileFlagTracked) {
+  FbufPool pool("p", &shared_, 128, 1);
+  auto fbuf = pool.Allocate(/*volatile_buf=*/true);
+  ASSERT_TRUE(fbuf.ok());
+  EXPECT_TRUE((*fbuf)->is_volatile());
+  (*fbuf)->Unref();
+  auto again = pool.Allocate(false);
+  EXPECT_FALSE((*again)->is_volatile());
+  (*again)->Unref();
+}
+
+TEST_F(FbufTest, AggregateAppendAndCopyOut) {
+  FbufPool pool("p", &shared_, 16, 4);
+  FbufAggregate agg;
+  for (int i = 0; i < 3; ++i) {
+    auto fbuf = pool.Allocate();
+    ASSERT_TRUE(fbuf.ok());
+    std::memset((*fbuf)->data(), 'a' + i, 16);
+    agg.Append(*fbuf, 0, 16);
+    (*fbuf)->Unref();  // the aggregate keeps its own reference
+  }
+  EXPECT_EQ(agg.size(), 48u);
+  EXPECT_EQ(agg.segment_count(), 3u);
+  EXPECT_EQ(pool.in_use(), 3u);  // aggregate refs keep the buffers live
+
+  char out[48];
+  ASSERT_TRUE(agg.CopyOut(0, out, 48).ok());
+  EXPECT_EQ(out[0], 'a');
+  EXPECT_EQ(out[16], 'b');
+  EXPECT_EQ(out[47], 'c');
+
+  // Reads spanning segment boundaries.
+  char mid[20];
+  ASSERT_TRUE(agg.CopyOut(10, mid, 20).ok());
+  EXPECT_EQ(mid[0], 'a');
+  EXPECT_EQ(mid[6], 'b');
+
+  agg.Clear();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST_F(FbufTest, CopyOutPastEndRejected) {
+  FbufPool pool("p", &shared_, 16, 1);
+  FbufAggregate agg;
+  auto fbuf = pool.Allocate();
+  agg.Append(*fbuf, 0, 16);
+  (*fbuf)->Unref();
+  char out[32];
+  EXPECT_EQ(agg.CopyOut(0, out, 32).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(agg.CopyOut(10, out, 7).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(FbufTest, SpliceMovesSegmentsWithoutCopying) {
+  FbufPool pool("p", &shared_, 16, 4);
+  FbufAggregate a;
+  FbufAggregate b;
+  auto f1 = pool.Allocate();
+  auto f2 = pool.Allocate();
+  std::memset((*f1)->data(), 'x', 16);
+  std::memset((*f2)->data(), 'y', 16);
+  const uint8_t* data2 = (*f2)->data();
+  a.Append(*f1, 0, 16);
+  b.Append(*f2, 0, 16);
+  (*f1)->Unref();
+  (*f2)->Unref();
+
+  a.Splice(&b);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_EQ(b.size(), 0u);
+  // The spliced segment still points at the same memory: zero-copy.
+  EXPECT_EQ(a.segments()[1].fbuf->data(), data2);
+}
+
+TEST_F(FbufTest, SplitPrefixTransfersAndSharesCorrectly) {
+  FbufPool pool("p", &shared_, 16, 4);
+  FbufAggregate agg;
+  for (int i = 0; i < 2; ++i) {
+    auto fbuf = pool.Allocate();
+    std::memset((*fbuf)->data(), '0' + i, 16);
+    agg.Append(*fbuf, 0, 16);
+    (*fbuf)->Unref();
+  }
+  // Split in the middle of the second segment.
+  auto prefix = agg.SplitPrefix(24);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->size(), 24u);
+  EXPECT_EQ(agg.size(), 8u);
+
+  char head[24];
+  ASSERT_TRUE(prefix->CopyOut(0, head, 24).ok());
+  EXPECT_EQ(head[0], '0');
+  EXPECT_EQ(head[23], '1');
+  char tail[8];
+  ASSERT_TRUE(agg.CopyOut(0, tail, 8).ok());
+  EXPECT_EQ(tail[0], '1');
+
+  // The shared fbuf has two references now; everything returns on Clear.
+  prefix->Clear();
+  agg.Clear();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST_F(FbufTest, SplitMoreThanAvailableRejected) {
+  FbufPool pool("p", &shared_, 16, 1);
+  FbufAggregate agg;
+  auto fbuf = pool.Allocate();
+  agg.Append(*fbuf, 0, 10);
+  (*fbuf)->Unref();
+  EXPECT_EQ(agg.SplitPrefix(11).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(FbufTest, RefConservationUnderRandomSplitsAndSplices) {
+  FbufPool pool("p", &shared_, 64, 16);
+  Rng rng(7);
+  std::vector<FbufAggregate> aggs(4);
+  for (int step = 0; step < 500; ++step) {
+    size_t pick = rng.NextBelow(aggs.size());
+    switch (rng.NextBelow(3)) {
+      case 0: {  // append fresh data
+        auto fbuf = pool.Allocate();
+        if (fbuf.ok()) {
+          aggs[pick].Append(*fbuf, 0, 1 + rng.NextBelow(64));
+          (*fbuf)->Unref();
+        }
+        break;
+      }
+      case 1: {  // split some prefix off into another aggregate
+        if (aggs[pick].size() > 0) {
+          auto prefix =
+              aggs[pick].SplitPrefix(1 + rng.NextBelow(aggs[pick].size()));
+          ASSERT_TRUE(prefix.ok());
+          aggs[(pick + 1) % aggs.size()].Splice(&*prefix);
+        }
+        break;
+      }
+      case 2: {  // drop an aggregate's contents
+        aggs[pick].Clear();
+        break;
+      }
+    }
+  }
+  for (FbufAggregate& agg : aggs) {
+    agg.Clear();
+  }
+  EXPECT_EQ(pool.in_use(), 0u);  // no leaked or double-freed buffers
+}
+
+TEST_F(FbufTest, ChannelRoundTrip) {
+  Kernel kernel;
+  FbufChannel channel(&kernel, &shared_, 1024, 8);
+  channel.Serve([](uint32_t opnum, FbufAggregate* request,
+                   FbufAggregate* reply) {
+    EXPECT_EQ(opnum, 7u);
+    *reply = std::move(*request);  // echo by reference
+    return Status::Ok();
+  });
+
+  auto fbuf = channel.pool().Allocate();
+  ASSERT_TRUE(fbuf.ok());
+  std::memset((*fbuf)->data(), 0x5C, 100);
+  FbufAggregate request;
+  request.Append(*fbuf, 0, 100);
+  (*fbuf)->Unref();
+
+  FbufAggregate reply;
+  ASSERT_TRUE(channel.Call(7, std::move(request), &reply).ok());
+  EXPECT_EQ(reply.size(), 100u);
+  uint8_t out[100];
+  ASSERT_TRUE(reply.CopyOut(0, out, 100).ok());
+  EXPECT_EQ(out[99], 0x5C);
+  EXPECT_EQ(kernel.trap_count(), 2u);
+  reply.Clear();
+  EXPECT_EQ(channel.pool().in_use(), 0u);
+}
+
+TEST_F(FbufTest, ChannelWithoutServerFails) {
+  Kernel kernel;
+  FbufChannel channel(&kernel, &shared_, 1024, 2);
+  FbufAggregate reply;
+  EXPECT_EQ(channel.Call(1, FbufAggregate(), &reply).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -1,0 +1,118 @@
+// Unit tests for the shared tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "src/idl/lexer.h"
+
+namespace flexrpc {
+namespace {
+
+std::vector<Token> Lex(std::string_view src, DiagnosticSink* diags) {
+  return Tokenize(src, "test.idl", diags);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  DiagnosticSink diags;
+  auto tokens = Lex("", &diags);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, IdentifiersAndPunct) {
+  DiagnosticSink diags;
+  auto tokens = Lex("interface Foo { void f(); };", &diags);
+  EXPECT_FALSE(diags.HasErrors());
+  ASSERT_GE(tokens.size(), 11u);
+  EXPECT_TRUE(tokens[0].IsIdent("interface"));
+  EXPECT_TRUE(tokens[1].IsIdent("Foo"));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_TRUE(tokens[3].IsIdent("void"));
+  EXPECT_EQ(tokens[5].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, DecimalAndHexNumbers) {
+  DiagnosticSink diags;
+  auto tokens = Lex("123 0x1F 0", &diags);
+  EXPECT_EQ(tokens[0].int_value, 123u);
+  EXPECT_EQ(tokens[1].int_value, 0x1Fu);
+  EXPECT_EQ(tokens[2].int_value, 0u);
+}
+
+TEST(LexerTest, StringLiteralWithEscapes) {
+  DiagnosticSink diags;
+  auto tokens = Lex(R"("a\nb\"c")", &diags);
+  ASSERT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].string_value, "a\nb\"c");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  DiagnosticSink diags;
+  auto tokens = Lex("a // line\nb /* block\nstill */ c # cpp\nd", &diags);
+  EXPECT_FALSE(diags.HasErrors());
+  ASSERT_EQ(tokens.size(), 5u);  // a b c d EOF
+  EXPECT_TRUE(tokens[0].IsIdent("a"));
+  EXPECT_TRUE(tokens[1].IsIdent("b"));
+  EXPECT_TRUE(tokens[2].IsIdent("c"));
+  EXPECT_TRUE(tokens[3].IsIdent("d"));
+}
+
+TEST(LexerTest, ScopeVsColon) {
+  DiagnosticSink diags;
+  auto tokens = Lex(":: :", &diags);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kScope);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kColon);
+}
+
+TEST(LexerTest, PositionsAreOneBased) {
+  DiagnosticSink diags;
+  auto tokens = Lex("a\n  b", &diags);
+  EXPECT_EQ(tokens[0].pos.line, 1);
+  EXPECT_EQ(tokens[0].pos.column, 1);
+  EXPECT_EQ(tokens[1].pos.line, 2);
+  EXPECT_EQ(tokens[1].pos.column, 3);
+}
+
+TEST(LexerTest, UnterminatedCommentIsReported) {
+  DiagnosticSink diags;
+  Lex("a /* never closed", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringIsReported) {
+  DiagnosticSink diags;
+  Lex("\"open", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReportedAndSkipped) {
+  DiagnosticSink diags;
+  auto tokens = Lex("a $ b", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[1].IsIdent("b"));
+}
+
+TEST(TokenCursorTest, ExpectAndRecovery) {
+  DiagnosticSink diags;
+  TokenCursor cursor(Lex("a ; b", &diags), "test.idl", &diags);
+  EXPECT_EQ(cursor.ExpectIdentifier("here"), "a");
+  EXPECT_FALSE(cursor.Expect(TokenKind::kComma, "oops"));
+  EXPECT_TRUE(diags.HasErrors());
+  cursor.SkipPast(TokenKind::kSemicolon);
+  EXPECT_TRUE(cursor.Peek().IsIdent("b"));
+}
+
+TEST(TokenCursorTest, NextStaysOnEof) {
+  DiagnosticSink diags;
+  TokenCursor cursor(Lex("x", &diags), "test.idl", &diags);
+  cursor.Next();
+  cursor.Next();
+  cursor.Next();
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+}  // namespace
+}  // namespace flexrpc

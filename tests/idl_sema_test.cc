@@ -1,0 +1,145 @@
+// Unit tests for semantic analysis: inheritance flattening, duplicate
+// detection, and recursive-type rejection.
+
+#include <gtest/gtest.h>
+
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+
+namespace flexrpc {
+namespace {
+
+std::unique_ptr<InterfaceFile> ParseAndAnalyze(std::string_view src,
+                                               DiagnosticSink* diags) {
+  auto file = ParseCorbaIdl(src, "test.idl", diags);
+  if (file == nullptr) {
+    return nullptr;
+  }
+  if (!AnalyzeInterfaceFile(file.get(), diags)) {
+    return nullptr;
+  }
+  return file;
+}
+
+TEST(SemaTest, CleanFilePasses) {
+  DiagnosticSink diags;
+  auto file = ParseAndAnalyze(R"(
+    interface I { void f(in long a, out long b); };
+  )", &diags);
+  EXPECT_NE(file, nullptr) << diags.ToString();
+}
+
+TEST(SemaTest, InheritanceIsFlattened) {
+  DiagnosticSink diags;
+  auto file = ParseAndAnalyze(R"(
+    interface A { void fa(); };
+    interface B : A { void fb(); };
+  )", &diags);
+  ASSERT_NE(file, nullptr) << diags.ToString();
+  const InterfaceDecl* b = file->FindInterface("B");
+  ASSERT_EQ(b->ops.size(), 2u);
+  EXPECT_EQ(b->ops[0].name, "fa");
+  EXPECT_EQ(b->ops[1].name, "fb");
+  EXPECT_EQ(b->ops[0].opnum, 0u);
+  EXPECT_EQ(b->ops[1].opnum, 1u);
+  EXPECT_TRUE(b->bases.empty());  // consumed by flattening
+}
+
+TEST(SemaTest, DiamondInheritanceContributesOnce) {
+  DiagnosticSink diags;
+  auto file = ParseAndAnalyze(R"(
+    interface Root { void r(); };
+    interface L : Root { void l(); };
+    interface R : Root { void rr(); };
+    interface D : L, R { void d(); };
+  )", &diags);
+  ASSERT_NE(file, nullptr) << diags.ToString();
+  const InterfaceDecl* d = file->FindInterface("D");
+  // r, l, rr, d — Root::r() exactly once.
+  ASSERT_EQ(d->ops.size(), 4u);
+  int count_r = 0;
+  for (const auto& op : d->ops) {
+    if (op.name == "r") {
+      ++count_r;
+    }
+  }
+  EXPECT_EQ(count_r, 1);
+}
+
+TEST(SemaTest, UnknownBaseRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze("interface B : Missing { void f(); };", &diags),
+            nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, SelfInheritanceRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze("interface A : A { void f(); };", &diags),
+            nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, DuplicateOperationRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze(R"(
+    interface I { void f(); void f(in long x); };
+  )", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, InheritedNameCollisionRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze(R"(
+    interface A { void f(); };
+    interface B : A { void f(); };
+  )", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, DuplicateParameterRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze("interface I { void f(in long x, in long x); };",
+                            &diags),
+            nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, RecursiveStructRejected) {
+  DiagnosticSink diags;
+  // 'struct node' contains itself via a sequence? A sequence introduces
+  // indirection but our by-value rule still flags direct self-containment.
+  EXPECT_EQ(ParseAndAnalyze(R"(
+    struct a { long x; b inner; };
+    struct b { a back; };
+    interface I { void f(in a v); };
+  )", &diags), nullptr);  // 'b' unknown when 'a' is parsed
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, MutuallyRecursiveStructsRejected) {
+  DiagnosticSink diags;
+  auto file = ParseCorbaIdl(R"(
+    struct a { long x; };
+    interface I { void f(in a v); };
+  )", "test.idl", &diags);
+  ASSERT_NE(file, nullptr);
+  // Manufacture the recursion directly in the type table (the grammar makes
+  // it hard to spell): a.self = a.
+  Type* a = const_cast<Type*>(file->types.FindNamed("a"));
+  file->types.AddField(a, "self", a);
+  EXPECT_FALSE(AnalyzeInterfaceFile(file.get(), &diags));
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(SemaTest, DuplicateInterfaceRejected) {
+  DiagnosticSink diags;
+  EXPECT_EQ(ParseAndAnalyze(R"(
+    interface I { void f(); };
+    interface I { void g(); };
+  )", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -1,0 +1,128 @@
+// Determinism and idempotence properties of the presentation pipeline:
+// the same inputs always produce the same presentation, signature, and
+// marshal-program shape — the foundation for bind-time caching.
+
+#include <gtest/gtest.h>
+
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/marshal/engine.h"
+#include "src/pdl/apply.h"
+#include "src/sig/signature.h"
+
+namespace flexrpc {
+namespace {
+
+constexpr char kIdl[] = R"(
+  interface FileIO {
+    sequence<octet> read(in unsigned long count);
+    unsigned long write(in sequence<octet> data);
+  };
+)";
+
+constexpr char kPdl[] = R"(
+  interface FileIO [leaky];
+  FileIO_read()[dealloc(never)];
+  FileIO_write(char *[preserved] data);
+)";
+
+bool SameParam(const ParamPresentation& a, const ParamPresentation& b) {
+  return a.name == b.name && a.binding == b.binding &&
+         a.explicit_length == b.explicit_length &&
+         a.length_param == b.length_param && a.special == b.special &&
+         a.trashable == b.trashable && a.preserved == b.preserved &&
+         a.nonunique == b.nonunique && a.alloc == b.alloc &&
+         a.dealloc == b.dealloc &&
+         a.presentation_only == b.presentation_only;
+}
+
+bool SamePresentation(const InterfacePresentation& a,
+                      const InterfacePresentation& b) {
+  if (a.trust != b.trust || a.ops.size() != b.ops.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    const OpPresentation& oa = a.ops[i];
+    const OpPresentation& ob = b.ops[i];
+    if (oa.op_name != ob.op_name || oa.comm_status != ob.comm_status ||
+        oa.args_flattened != ob.args_flattened ||
+        oa.result_flattened != ob.result_flattened ||
+        oa.params.size() != ob.params.size()) {
+      return false;
+    }
+    for (size_t p = 0; p < oa.params.size(); ++p) {
+      if (!SameParam(oa.params[p], ob.params[p])) {
+        return false;
+      }
+    }
+    if (!SameParam(oa.result, ob.result)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PdlDeterminismTest, RepeatedApplicationIsIdentical) {
+  DiagnosticSink diags;
+  auto idl = ParseCorbaIdl(kIdl, "t.idl", &diags);
+  ASSERT_NE(idl, nullptr);
+  ASSERT_TRUE(AnalyzeInterfaceFile(idl.get(), &diags));
+
+  PresentationSet first;
+  PresentationSet second;
+  ASSERT_TRUE(ApplyPdlText(*idl, Side::kServer, kPdl, "p.pdl", &first,
+                           &diags))
+      << diags.ToString();
+  ASSERT_TRUE(ApplyPdlText(*idl, Side::kServer, kPdl, "p.pdl", &second,
+                           &diags));
+  EXPECT_TRUE(SamePresentation(*first.Find("FileIO"),
+                               *second.Find("FileIO")));
+}
+
+TEST(PdlDeterminismTest, SignatureStableAcrossRepeatedBuilds) {
+  DiagnosticSink diags;
+  auto idl = ParseCorbaIdl(kIdl, "t.idl", &diags);
+  ASSERT_NE(idl, nullptr);
+  ASSERT_TRUE(AnalyzeInterfaceFile(idl.get(), &diags));
+  uint64_t h = SignatureHash(BuildSignature(idl->interfaces[0]));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SignatureHash(BuildSignature(idl->interfaces[0])), h);
+  }
+}
+
+TEST(PdlDeterminismTest, MarshalProgramShapeStable) {
+  DiagnosticSink diags;
+  auto idl = ParseCorbaIdl(kIdl, "t.idl", &diags);
+  ASSERT_NE(idl, nullptr);
+  ASSERT_TRUE(AnalyzeInterfaceFile(idl.get(), &diags));
+  PresentationSet pres;
+  ASSERT_TRUE(ApplyPdlText(*idl, Side::kServer, kPdl, "p.pdl", &pres,
+                           &diags));
+  const OperationDecl& op = idl->interfaces[0].ops[0];
+  const OpPresentation& op_pres = *pres.Find("FileIO")->FindOp("read");
+  MarshalProgram a = MarshalProgram::Build(op, op_pres);
+  MarshalProgram b = MarshalProgram::Build(op, op_pres);
+  EXPECT_EQ(a.slot_count(), b.slot_count());
+  EXPECT_EQ(a.result_slot(), b.result_slot());
+  EXPECT_EQ(a.SlotOf("count"), b.SlotOf("count"));
+}
+
+TEST(PdlDeterminismTest, ConflictingAttributesLastWriteWins) {
+  // Two decls touching the same op: later PDL statements refine earlier
+  // ones deterministically.
+  DiagnosticSink diags;
+  auto idl = ParseCorbaIdl(kIdl, "t.idl", &diags);
+  ASSERT_NE(idl, nullptr);
+  ASSERT_TRUE(AnalyzeInterfaceFile(idl.get(), &diags));
+  PresentationSet pres;
+  ASSERT_TRUE(ApplyPdlText(*idl, Side::kServer,
+                           "FileIO_read()[dealloc(never)];\n"
+                           "FileIO_read()[dealloc(always)];",
+                           "p.pdl", &pres, &diags))
+      << diags.ToString();
+  EXPECT_EQ(pres.Find("FileIO")->FindOp("read")->result.dealloc,
+            DeallocPolicy::kAlways);
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -1,0 +1,157 @@
+// Unit tests for the PDL parser (syntax only; resolution is tested in
+// pdl_apply_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "src/pdl/pdl_parser.h"
+
+namespace flexrpc {
+namespace {
+
+std::unique_ptr<PdlFile> Parse(std::string_view src, DiagnosticSink* diags) {
+  return ParsePdl(src, "test.pdl", diags);
+}
+
+std::unique_ptr<PdlFile> ParseOk(std::string_view src) {
+  DiagnosticSink diags;
+  auto file = Parse(src, &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.ToString();
+  return file;
+}
+
+TEST(PdlParserTest, PaperSysLogExample) {
+  // The paper §3 example: alternate string presentation with explicit
+  // length, with placeholders for the implicit object/exception params.
+  auto file =
+      ParseOk("SysLog_write_msg(,, char *[length_is(length)] msg,"
+              " int length);");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(file->ops.size(), 1u);
+  const PdlOpDecl& op = file->ops[0];
+  EXPECT_EQ(op.func_name, "SysLog_write_msg");
+  ASSERT_EQ(op.slots.size(), 4u);
+  EXPECT_TRUE(op.slots[0].empty);
+  EXPECT_TRUE(op.slots[1].empty);
+  const PdlSlot& msg = op.slots[2];
+  EXPECT_EQ(msg.name, "msg");
+  EXPECT_EQ(msg.ctype_text, "char *");
+  ASSERT_EQ(msg.attrs.size(), 1u);
+  EXPECT_EQ(msg.attrs[0].name, "length_is");
+  ASSERT_EQ(msg.attrs[0].args.size(), 1u);
+  EXPECT_EQ(msg.attrs[0].args[0], "length");
+  const PdlSlot& len = op.slots[3];
+  EXPECT_EQ(len.name, "length");
+  EXPECT_EQ(len.ctype_text, "int");
+  EXPECT_TRUE(len.attrs.empty());
+}
+
+TEST(PdlParserTest, PaperNfsReadExample) {
+  // Figure 1 of the paper, modulo whitespace.
+  auto file = ParseOk(R"(
+    [comm_status] int nfsproc_read(, nfs_fh *file,
+        unsigned offset, unsigned count, unsigned totalcount,
+        [special] user_data *data, fattr *attributes, nfsstat *status);
+  )");
+  ASSERT_NE(file, nullptr);
+  const PdlOpDecl& op = file->ops[0];
+  ASSERT_EQ(op.op_attrs.size(), 1u);
+  EXPECT_EQ(op.op_attrs[0].name, "comm_status");
+  EXPECT_EQ(op.return_ctype, "int");
+  EXPECT_EQ(op.func_name, "nfsproc_read");
+  ASSERT_EQ(op.slots.size(), 8u);
+  EXPECT_TRUE(op.slots[0].empty);
+  EXPECT_EQ(op.slots[1].name, "file");
+  EXPECT_EQ(op.slots[1].ctype_text, "nfs_fh *");
+  const PdlSlot& data = op.slots[5];
+  EXPECT_EQ(data.name, "data");
+  ASSERT_EQ(data.attrs.size(), 1u);
+  EXPECT_EQ(data.attrs[0].name, "special");
+  EXPECT_EQ(op.slots[7].name, "status");
+}
+
+TEST(PdlParserTest, TrashablePreservedExamples) {
+  // Figures 8 and 9 of the paper.
+  auto client = ParseOk(
+      "void FileIO_write(char *[trashable] _buffer, unsigned long _length);");
+  EXPECT_EQ(client->ops[0].slots[0].attrs[0].name, "trashable");
+  auto server = ParseOk(
+      "void FileIO_write(char *[preserved] _buffer, unsigned long _length);");
+  EXPECT_EQ(server->ops[0].slots[0].attrs[0].name, "preserved");
+}
+
+TEST(PdlParserTest, ReturnAttrsAfterParen) {
+  auto file = ParseOk("FileIO_read()[dealloc(never)];");
+  const PdlOpDecl& op = file->ops[0];
+  EXPECT_TRUE(op.slots.empty());
+  ASSERT_EQ(op.return_attrs.size(), 1u);
+  EXPECT_EQ(op.return_attrs[0].name, "dealloc");
+  EXPECT_EQ(op.return_attrs[0].args[0], "never");
+}
+
+TEST(PdlParserTest, InterfaceTrustDecl) {
+  auto file = ParseOk("interface FileIO [leaky, unprotected];");
+  ASSERT_EQ(file->interfaces.size(), 1u);
+  EXPECT_EQ(file->interfaces[0].interface_name, "FileIO");
+  ASSERT_EQ(file->interfaces[0].attrs.size(), 2u);
+  EXPECT_EQ(file->interfaces[0].attrs[0].name, "leaky");
+  EXPECT_EQ(file->interfaces[0].attrs[1].name, "unprotected");
+}
+
+TEST(PdlParserTest, TypeDecl) {
+  auto file = ParseOk("type user_data [special];");
+  ASSERT_EQ(file->types.size(), 1u);
+  EXPECT_EQ(file->types[0].type_name, "user_data");
+  EXPECT_EQ(file->types[0].attrs[0].name, "special");
+}
+
+TEST(PdlParserTest, MultipleDecls) {
+  auto file = ParseOk(R"(
+    interface FileIO [trust(leaky)];
+    type opaque [special];
+    FileIO_read()[alloc(user)];
+  )");
+  EXPECT_EQ(file->interfaces.size(), 1u);
+  EXPECT_EQ(file->types.size(), 1u);
+  EXPECT_EQ(file->ops.size(), 1u);
+  EXPECT_EQ(file->interfaces[0].attrs[0].args[0], "leaky");
+}
+
+TEST(PdlParserTest, EmptySlotListAllowed) {
+  auto file = ParseOk("foo();");
+  EXPECT_TRUE(file->ops[0].slots.empty());
+}
+
+TEST(PdlParserTest, AllPlaceholderSlots) {
+  auto file = ParseOk("foo(,,);");
+  ASSERT_EQ(file->ops[0].slots.size(), 3u);
+  for (const PdlSlot& s : file->ops[0].slots) {
+    EXPECT_TRUE(s.empty);
+  }
+}
+
+TEST(PdlParserTest, MissingSemicolonIsError) {
+  DiagnosticSink diags;
+  EXPECT_EQ(Parse("foo()", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(PdlParserTest, DanglingStarIsError) {
+  DiagnosticSink diags;
+  EXPECT_EQ(Parse("foo(char *);", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(PdlParserTest, AttrArgsMustBeSimple) {
+  DiagnosticSink diags;
+  EXPECT_EQ(Parse("foo(char *[length_is(\"x\")] p);", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(PdlParserTest, InterfaceDeclNeedsAttrs) {
+  DiagnosticSink diags;
+  EXPECT_EQ(Parse("interface FileIO;", &diags), nullptr);
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+}  // namespace
+}  // namespace flexrpc

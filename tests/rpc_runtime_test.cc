@@ -1,0 +1,214 @@
+// End-to-end tests for the RPC runtime: IDL text in, cross-domain calls
+// out, covering default and annotated presentations over the fast path.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/rpc/runtime.h"
+
+namespace flexrpc {
+namespace {
+
+class RpcRuntimeTest : public ::testing::Test {
+ protected:
+  void Load(std::string_view idl_src, std::string_view client_pdl = "",
+            std::string_view server_pdl = "") {
+    DiagnosticSink diags;
+    idl_ = ParseCorbaIdl(idl_src, "t.idl", &diags);
+    ASSERT_NE(idl_, nullptr) << diags.ToString();
+    ASSERT_TRUE(AnalyzeInterfaceFile(idl_.get(), &diags)) << diags.ToString();
+    if (client_pdl.empty()) {
+      ASSERT_TRUE(ApplyPdl(*idl_, Side::kClient, nullptr, &client_, &diags));
+    } else {
+      ASSERT_TRUE(ApplyPdlText(*idl_, Side::kClient, client_pdl, "c.pdl",
+                               &client_, &diags))
+          << diags.ToString();
+    }
+    if (server_pdl.empty()) {
+      ASSERT_TRUE(ApplyPdl(*idl_, Side::kServer, nullptr, &server_, &diags));
+    } else {
+      ASSERT_TRUE(ApplyPdlText(*idl_, Side::kServer, server_pdl, "s.pdl",
+                               &server_, &diags))
+          << diags.ToString();
+    }
+    client_task_ = kernel_.CreateTask("client");
+    server_task_ = kernel_.CreateTask("server");
+  }
+
+  Kernel kernel_;
+  FastPath fastpath_{&kernel_};
+  std::unique_ptr<InterfaceFile> idl_;
+  PresentationSet client_;
+  PresentationSet server_;
+  Task* client_task_ = nullptr;
+  Task* server_task_ = nullptr;
+};
+
+TEST_F(RpcRuntimeTest, EchoStringAcrossDomains) {
+  Load(R"(
+    interface Echo {
+      string shout(in string text);
+    };
+  )");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("Echo"), server_task_);
+  server.SetWork("shout", [](ArgVec* args, Arena* arena) {
+    const char* in = static_cast<const char*>((*args)[0].ptr());
+    size_t len = std::strlen(in);
+    char* out = static_cast<char*>(arena->AllocateBlock(len + 2));
+    out[0] = '!';
+    std::memcpy(out + 1, in, len + 1);
+    (*args)[args->size() - 1].set_ptr(out);
+    return Status::Ok();
+  });
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("Echo"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const MarshalProgram* prog = (*conn)->ProgramFor("shout");
+  ArgVec args(prog->slot_count());
+  args[prog->SlotOf("text")].set_ptr("hello");
+  ASSERT_TRUE((*conn)->Call("shout", &args).ok());
+  EXPECT_STREQ(static_cast<const char*>(args[prog->result_slot()].ptr()),
+               "!hello");
+  // Server-side request storage was released by the dispatch epilogue; the
+  // reply buffer the work function donated was freed after marshaling.
+  EXPECT_EQ(server_task_->space().arena().live_blocks(), 0u);
+}
+
+TEST_F(RpcRuntimeTest, BindRejectsMismatchedInterface) {
+  Load("interface A { void f(in long x); };");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("A"), server_task_);
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+
+  DiagnosticSink diags;
+  auto other = ParseCorbaIdl("interface A { void f(in string x); };",
+                             "o.idl", &diags);
+  ASSERT_NE(other, nullptr);
+  ASSERT_TRUE(AnalyzeInterfaceFile(other.get(), &diags));
+  PresentationSet other_pres;
+  ASSERT_TRUE(
+      ApplyPdl(*other, Side::kClient, nullptr, &other_pres, &diags));
+  auto conn =
+      RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port, server,
+                          other->interfaces[0], *other_pres.Find("A"));
+  EXPECT_EQ(conn.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RpcRuntimeTest, ServerErrorTravelsInBand) {
+  Load("interface A { void f(in long x); };");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("A"), server_task_);
+  server.SetWork("f", [](ArgVec*, Arena*) {
+    return FailedPreconditionError("not ready");
+  });
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("A"));
+  ASSERT_TRUE(conn.ok());
+  const MarshalProgram* prog = (*conn)->ProgramFor("f");
+  ArgVec args(prog->slot_count());
+  Status st = (*conn)->Call("f", &args);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(st.message(), "not ready");
+}
+
+TEST_F(RpcRuntimeTest, MissingWorkFunctionReported) {
+  Load("interface A { void f(); };");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("A"), server_task_);
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("A"));
+  ASSERT_TRUE(conn.ok());
+  ArgVec args((*conn)->ProgramFor("f")->slot_count());
+  EXPECT_EQ((*conn)->Call("f", &args).code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(RpcRuntimeTest, UnknownOperationReported) {
+  Load("interface A { void f(); };");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("A"), server_task_);
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("A"));
+  ASSERT_TRUE(conn.ok());
+  ArgVec args(1);
+  EXPECT_EQ((*conn)->Call("nope", &args).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcRuntimeTest, SequenceOutParamWithCallerBuffer) {
+  Load(R"(
+    interface Blob {
+      void fetch(in unsigned long count, out sequence<octet> data);
+    };
+  )", "Blob_fetch(unsigned long count, char *[alloc(user)] data);", "");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("Blob"), server_task_);
+  server.SetWork("fetch", [](ArgVec* args, Arena* arena) {
+    uint32_t count = static_cast<uint32_t>((*args)[0].scalar);
+    auto* buf = static_cast<uint8_t*>(arena->AllocateBlock(count));
+    std::memset(buf, 0xC3, count);
+    (*args)[1].set_ptr(buf);
+    (*args)[1].length = count;
+    return Status::Ok();
+  });
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("Blob"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const MarshalProgram* prog = (*conn)->ProgramFor("fetch");
+  uint8_t mine[256];
+  ArgVec args(prog->slot_count());
+  args[prog->SlotOf("count")].scalar = 200;
+  args[prog->SlotOf("data")].set_ptr(mine);
+  args[prog->SlotOf("data")].capacity = sizeof(mine);
+  ASSERT_TRUE((*conn)->Call("fetch", &args).ok());
+  EXPECT_EQ(args[prog->SlotOf("data")].length, 200u);
+  EXPECT_EQ(mine[100], 0xC3);
+  // No stub allocation happened in the client's space for the data.
+  EXPECT_EQ(client_task_->space().arena().live_blocks(), 0u);
+}
+
+TEST_F(RpcRuntimeTest, ManyCallsNoLeaks) {
+  Load(R"(
+    interface KV {
+      sequence<octet> get(in string key);
+    };
+  )");
+  const InterfaceDecl& itf = idl_->interfaces[0];
+  ServerObject server(itf, *server_.Find("KV"), server_task_);
+  server.SetWork("get", [](ArgVec* args, Arena* arena) {
+    const char* key = static_cast<const char*>((*args)[0].ptr());
+    size_t n = std::strlen(key) * 3;
+    auto* buf = static_cast<uint8_t*>(arena->AllocateBlock(n > 0 ? n : 1));
+    std::memset(buf, 0xEE, n);
+    (*args)[args->size() - 1].set_ptr(buf);
+    (*args)[args->size() - 1].length = static_cast<uint32_t>(n);
+    return Status::Ok();
+  });
+  Port* port = ExportServer(&kernel_, &fastpath_, &server);
+  auto conn = RpcConnection::Bind(&kernel_, &fastpath_, client_task_, port,
+                                  server, itf, *client_.Find("KV"));
+  ASSERT_TRUE(conn.ok());
+  const MarshalProgram* prog = (*conn)->ProgramFor("get");
+  for (int i = 0; i < 100; ++i) {
+    ArgVec args(prog->slot_count());
+    args[prog->SlotOf("key")].set_ptr("some-key");
+    ASSERT_TRUE((*conn)->Call("get", &args).ok());
+    EXPECT_EQ(args[prog->result_slot()].length, 24u);
+    // The client frees the donated buffer (move semantics).
+    client_task_->space().Free(args[prog->result_slot()].ptr());
+  }
+  EXPECT_EQ(server_task_->space().arena().live_blocks(), 0u);
+  EXPECT_EQ(client_task_->space().arena().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace flexrpc

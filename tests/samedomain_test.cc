@@ -1,0 +1,263 @@
+// Tests for same-domain invocation semantics (§4.4): copy-vs-borrow for in
+// parameters and allocation matching for out parameters.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/rpc/samedomain.h"
+
+namespace flexrpc {
+namespace {
+
+constexpr char kIoIdl[] = R"(
+  interface FileIO {
+    sequence<octet> read(in unsigned long count);
+    void write(in sequence<octet> data);
+  };
+)";
+
+class SameDomainTest : public ::testing::Test {
+ protected:
+  void Load(std::string_view client_pdl, std::string_view server_pdl) {
+    DiagnosticSink diags;
+    idl_ = ParseCorbaIdl(kIoIdl, "t.idl", &diags);
+    ASSERT_NE(idl_, nullptr) << diags.ToString();
+    ASSERT_TRUE(AnalyzeInterfaceFile(idl_.get(), &diags));
+    if (client_pdl.empty()) {
+      ASSERT_TRUE(ApplyPdl(*idl_, Side::kClient, nullptr, &client_, &diags));
+    } else {
+      ASSERT_TRUE(ApplyPdlText(*idl_, Side::kClient, client_pdl, "c.pdl",
+                               &client_, &diags))
+          << diags.ToString();
+    }
+    if (server_pdl.empty()) {
+      ASSERT_TRUE(ApplyPdl(*idl_, Side::kServer, nullptr, &server_, &diags));
+    } else {
+      ASSERT_TRUE(ApplyPdlText(*idl_, Side::kServer, server_pdl, "s.pdl",
+                               &server_, &diags))
+          << diags.ToString();
+    }
+  }
+
+  const OperationDecl& Op(std::string_view name) {
+    return *idl_->interfaces[0].FindOp(name);
+  }
+  const OpPresentation& ClientOp(std::string_view name) {
+    return *client_.Find("FileIO")->FindOp(name);
+  }
+  const OpPresentation& ServerOp(std::string_view name) {
+    return *server_.Find("FileIO")->FindOp(name);
+  }
+
+  std::unique_ptr<InterfaceFile> idl_;
+  PresentationSet client_;
+  PresentationSet server_;
+  Arena arena_{"domain"};
+};
+
+// §4.4.1: neither side relaxed anything -> the stub must copy.
+TEST_F(SameDomainTest, DefaultInParamIsCopied) {
+  Load("", "");
+  const void* seen = nullptr;
+  auto conn = SameDomainConnection::Bind(
+      Op("write"), ClientOp("write"), ServerOp("write"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        seen = (*args)[0].ptr();
+        // Server may scribble: it owns the copy.
+        std::memset((*args)[0].ptr(), 0, (*args)[0].length);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  uint8_t buffer[1024];
+  std::memset(buffer, 0x77, sizeof(buffer));
+  ArgVec args(3);  // data + presentation slots + result
+  args[0].set_ptr(buffer);
+  args[0].length = sizeof(buffer);
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_NE(seen, buffer);           // server saw a copy
+  EXPECT_EQ(buffer[0], 0x77);        // client data survived
+  EXPECT_EQ(conn->copies(), 1u);
+  EXPECT_EQ(conn->bytes_copied(), 1024u);
+  EXPECT_EQ(arena_.live_blocks(), 0u);  // stub copy was released
+}
+
+// §4.4.1: the client said [trashable] -> the pointer is passed through.
+TEST_F(SameDomainTest, TrashableInParamIsBorrowed) {
+  Load("FileIO_write(char *[trashable] data);", "");
+  const void* seen = nullptr;
+  auto conn = SameDomainConnection::Bind(
+      Op("write"), ClientOp("write"), ServerOp("write"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        seen = (*args)[0].ptr();
+        std::memset((*args)[0].ptr(), 0, (*args)[0].length);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok());
+
+  uint8_t buffer[1024];
+  std::memset(buffer, 0x77, sizeof(buffer));
+  ArgVec args(3);
+  args[0].set_ptr(buffer);
+  args[0].length = sizeof(buffer);
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_EQ(seen, buffer);     // no copy: the server got the real buffer
+  EXPECT_EQ(buffer[0], 0x00);  // and trashed it, as permitted
+  EXPECT_EQ(conn->copies(), 0u);
+}
+
+// §4.4.1: the server promised [preserved] -> borrow is safe too.
+TEST_F(SameDomainTest, PreservedInParamIsBorrowed) {
+  Load("", "FileIO_write(char *[preserved] data);");
+  const void* seen = nullptr;
+  auto conn = SameDomainConnection::Bind(
+      Op("write"), ClientOp("write"), ServerOp("write"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        seen = (*args)[0].ptr();  // reads only
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok());
+  uint8_t buffer[64];
+  std::memset(buffer, 0x12, sizeof(buffer));
+  ArgVec args(3);
+  args[0].set_ptr(buffer);
+  args[0].length = sizeof(buffer);
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_EQ(seen, buffer);
+  EXPECT_EQ(conn->copies(), 0u);
+}
+
+// §4.4.2 group 2: server provides its (already-allocated) buffer, client
+// has no constraint -> move, zero copies.
+TEST_F(SameDomainTest, OutParamMoveSemantics) {
+  Load("", "");
+  void* server_buffer = arena_.AllocateBlock(512);
+  std::memset(server_buffer, 0xAB, 512);
+  auto conn = SameDomainConnection::Bind(
+      Op("read"), ClientOp("read"), ServerOp("read"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        size_t result = args->size() - 1;
+        (*args)[result].set_ptr(server_buffer);
+        (*args)[result].length = 512;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok());
+  ArgVec args(2);  // count + result
+  args[0].scalar = 512;
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_EQ(args[1].ptr(), server_buffer);  // donated, not copied
+  EXPECT_EQ(conn->copies(), 0u);
+  arena_.FreeBlock(server_buffer);  // client's responsibility now
+}
+
+// §4.4.2 group 3: client provides the buffer, server has no constraint ->
+// the work function fills the client's storage directly.
+TEST_F(SameDomainTest, OutParamFillsClientBuffer) {
+  Load("FileIO_read()[alloc(user)];", "FileIO_read()[alloc(stub)];");
+  auto conn = SameDomainConnection::Bind(
+      Op("read"), ClientOp("read"), ServerOp("read"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        size_t result = args->size() - 1;
+        // The stub handed us the client's buffer to fill.
+        std::memset((*args)[result].ptr(), 0xCD, 128);
+        (*args)[result].length = 128;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  uint8_t mine[512];
+  ArgVec args(2);
+  args[0].scalar = 128;
+  args[1].set_ptr(mine);
+  args[1].capacity = sizeof(mine);
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_EQ(mine[64], 0xCD);
+  EXPECT_EQ(args[1].length, 128u);
+  EXPECT_EQ(conn->copies(), 0u);
+}
+
+// §4.4.2 group 4: both sides insist on their own buffer -> someone must
+// copy, and the stub does it.
+TEST_F(SameDomainTest, OutParamMismatchCopies) {
+  Load("FileIO_read()[alloc(user)];", "FileIO_read()[alloc(user)];");
+  void* server_buffer = arena_.AllocateBlock(256);
+  std::memset(server_buffer, 0xEF, 256);
+  auto conn = SameDomainConnection::Bind(
+      Op("read"), ClientOp("read"), ServerOp("read"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        size_t result = args->size() - 1;
+        (*args)[result].set_ptr(server_buffer);
+        (*args)[result].length = 256;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok());
+  uint8_t mine[512];
+  ArgVec args(2);
+  args[0].scalar = 256;
+  args[1].set_ptr(mine);
+  args[1].capacity = sizeof(mine);
+  ASSERT_TRUE(conn->Call(&args).ok());
+  EXPECT_EQ(mine[0], 0xEF);
+  EXPECT_EQ(conn->copies(), 1u);
+  EXPECT_EQ(conn->bytes_copied(), 256u);
+  // Server presentation kept the default dealloc(always): the stub freed
+  // the donated-but-copied buffer.
+  EXPECT_EQ(arena_.live_blocks(), 0u);
+}
+
+TEST_F(SameDomainTest, MismatchCopyChecksClientCapacity) {
+  Load("FileIO_read()[alloc(user)];", "FileIO_read()[alloc(user)];");
+  void* server_buffer = arena_.AllocateBlock(256);
+  auto conn = SameDomainConnection::Bind(
+      Op("read"), ClientOp("read"), ServerOp("read"), &arena_,
+      [&](ArgVec* args, Arena*) {
+        size_t result = args->size() - 1;
+        (*args)[result].set_ptr(server_buffer);
+        (*args)[result].length = 256;
+        return Status::Ok();
+      });
+  ASSERT_TRUE(conn.ok());
+  uint8_t tiny[16];
+  ArgVec args(2);
+  args[1].set_ptr(tiny);
+  args[1].capacity = sizeof(tiny);
+  EXPECT_EQ(conn->Call(&args).code(), StatusCode::kResourceExhausted);
+  arena_.FreeBlock(server_buffer);
+}
+
+TEST_F(SameDomainTest, PerCallModeMatchesBindTimeMode) {
+  Load("FileIO_write(char *[trashable] data);", "");
+  for (auto mode : {SameDomainConnection::PlanMode::kBindTime,
+                    SameDomainConnection::PlanMode::kPerCall}) {
+    auto conn = SameDomainConnection::Bind(
+        Op("write"), ClientOp("write"), ServerOp("write"), &arena_,
+        [](ArgVec*, Arena*) { return Status::Ok(); }, mode);
+    ASSERT_TRUE(conn.ok());
+    uint8_t buffer[64];
+    ArgVec args(3);
+    args[0].set_ptr(buffer);
+    args[0].length = sizeof(buffer);
+    ASSERT_TRUE(conn->Call(&args).ok());
+    EXPECT_EQ(conn->copies(), 0u);
+  }
+}
+
+TEST_F(SameDomainTest, PlanExposedForInspection) {
+  Load("", "");
+  auto plan = ComputeSameDomainPlan(Op("write"), ClientOp("write"),
+                                    ServerOp("write"));
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 1u);  // one in param, void result
+  EXPECT_EQ((*plan)[0].in_action, InAction::kCopyForServer);
+
+  auto read_plan =
+      ComputeSameDomainPlan(Op("read"), ClientOp("read"), ServerOp("read"));
+  ASSERT_TRUE(read_plan.ok());
+  ASSERT_EQ(read_plan->size(), 2u);  // count + result
+  EXPECT_EQ((*read_plan)[1].out_action, OutAction::kPassServerBuffer);
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -1,0 +1,276 @@
+// Unit tests for src/support: arenas, byte streams, status, strings, rng.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/support/arena.h"
+#include "src/support/bytes.h"
+#include "src/support/diag.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+#include "src/support/timing.h"
+
+namespace flexrpc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = DataLossError("truncated");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.message(), "truncated");
+  EXPECT_EQ(st.ToString(), "DATA_LOSS: truncated");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return v / 2;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  FLEXRPC_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = UseAssignOrReturn(7, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArenaTest, AllocationsAreDisjointAndOwned) {
+  Arena a("a");
+  Arena b("b");
+  void* pa = a.Allocate(128);
+  void* pb = b.Allocate(128);
+  EXPECT_NE(pa, pb);
+  EXPECT_TRUE(a.Owns(pa));
+  EXPECT_FALSE(a.Owns(pb));
+  EXPECT_TRUE(b.Owns(pb));
+  EXPECT_FALSE(b.Owns(pa));
+}
+
+TEST(ArenaTest, AlignmentHonored) {
+  Arena a("a");
+  a.Allocate(1);  // misalign the bump pointer
+  void* p = a.Allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST(ArenaTest, BlockRecycling) {
+  Arena a("a");
+  void* p1 = a.AllocateBlock(100);
+  std::memset(p1, 0xAB, 100);
+  a.FreeBlock(p1);
+  void* p2 = a.AllocateBlock(100);  // same size class -> recycled
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(a.block_allocs(), 2u);
+  EXPECT_EQ(a.block_frees(), 1u);
+  EXPECT_EQ(a.live_blocks(), 1u);
+}
+
+TEST(ArenaTest, DifferentSizeClassesDoNotMix) {
+  Arena a("a");
+  void* small = a.AllocateBlock(16);
+  a.FreeBlock(small);
+  void* large = a.AllocateBlock(4096);
+  EXPECT_NE(small, large);
+}
+
+TEST(ArenaTest, LargeAllocationsSpanChunks) {
+  Arena a("a");
+  void* p = a.Allocate(1u << 20);  // 1 MiB, larger than the min chunk
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, 1u << 20);  // must be fully addressable
+  EXPECT_TRUE(a.Owns(p));
+}
+
+TEST(ArenaTest, ResetReclaimsEverything) {
+  Arena a("a");
+  a.Allocate(1000);
+  a.AllocateBlock(64);
+  a.Reset();
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.live_blocks(), 0u);
+}
+
+TEST(ByteStreamTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0x12);
+  w.WriteU16Be(0x3456);
+  w.WriteU32Be(0x789ABCDE);
+  w.WriteU64Be(0x0123456789ABCDEFull);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.ReadU8().value(), 0x12);
+  EXPECT_EQ(r.ReadU16Be().value(), 0x3456);
+  EXPECT_EQ(r.ReadU32Be().value(), 0x789ABCDEu);
+  EXPECT_EQ(r.ReadU64Be().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteStreamTest, BigEndianLayout) {
+  ByteWriter w;
+  w.WriteU32Be(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.span()[0], 0x01);
+  EXPECT_EQ(w.span()[3], 0x04);
+}
+
+TEST(ByteStreamTest, TruncationIsDataLossNotCrash) {
+  ByteWriter w;
+  w.WriteU16Be(7);
+  ByteReader r(w.span());
+  EXPECT_TRUE(r.ReadU8().ok());
+  Result<uint32_t> big = r.ReadU32Be();
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ByteStreamTest, PatchBackfillsLength) {
+  ByteWriter w;
+  w.WriteU32Be(0);  // placeholder
+  w.WriteBytes("abc", 3);
+  w.PatchU32Be(0, 3);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.ReadU32Be().value(), 3u);
+}
+
+TEST(ByteStreamTest, ViewAvoidsCopy) {
+  ByteWriter w;
+  w.WriteBytes("hello", 5);
+  ByteReader r(w.span());
+  Result<ByteSpan> view = r.ReadView(5);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->data(), w.span().data());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrTrim("  x\t"), "x");
+  EXPECT_EQ(StrJoin({"a", "b"}, "::"), "a::b");
+}
+
+TEST(StringsTest, Predicates) {
+  EXPECT_TRUE(StrStartsWith("foobar", "foo"));
+  EXPECT_FALSE(StrStartsWith("fo", "foo"));
+  EXPECT_TRUE(StrEndsWith("foobar", "bar"));
+  EXPECT_TRUE(IsCIdentifier("_x1"));
+  EXPECT_FALSE(IsCIdentifier("1x"));
+  EXPECT_FALSE(IsCIdentifier(""));
+}
+
+TEST(StringsTest, CamelCaseAndIndent) {
+  EXPECT_EQ(ToCamelCase("write_msg"), "WriteMsg");
+  EXPECT_EQ(Indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");  // blank lines stay blank
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextInRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SpreadsValues) {
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(rng.NextBelow(1u << 30));
+  }
+  EXPECT_GT(seen.size(), 60u);  // no obvious cycle
+}
+
+TEST(TimingTest, VirtualClockAccumulates) {
+  VirtualClock clock;
+  clock.AdvanceNanos(500);
+  clock.AdvanceSeconds(1e-6);
+  EXPECT_EQ(clock.now_nanos(), 1500u);
+  clock.Reset();
+  EXPECT_EQ(clock.now_nanos(), 0u);
+}
+
+TEST(TimingTest, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
+  EXPECT_GT(sw.ElapsedNanos(), 0u);
+}
+
+TEST(DiagTest, FormattingAndCounts) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.HasErrors());
+  sink.Error("f.idl", SourcePos{3, 7}, "bad");
+  sink.Warning("f.idl", SourcePos{4, 1}, "meh");
+  EXPECT_TRUE(sink.HasErrors());
+  EXPECT_EQ(sink.error_count(), 1);
+  EXPECT_EQ(sink.diagnostics()[0].ToString(), "f.idl:3:7: error: bad");
+  EXPECT_NE(sink.ToString().find("warning: meh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexrpc

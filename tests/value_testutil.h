@@ -1,0 +1,146 @@
+// Test support: deterministic random native-layout values for property
+// tests over the marshal engine.
+
+#ifndef FLEXRPC_TESTS_VALUE_TESTUTIL_H_
+#define FLEXRPC_TESTS_VALUE_TESTUTIL_H_
+
+#include <cstring>
+
+#include "src/idl/types.h"
+#include "src/marshal/layout.h"
+#include "src/support/arena.h"
+#include "src/support/rng.h"
+
+namespace flexrpc {
+
+// Fills `dst` (NativeSize(type) bytes) with a random value; nested buffers
+// come from `arena`.
+inline void FillRandomValue(Rng* rng, Arena* arena, const Type* type,
+                            void* dst) {
+  const Type* t = type->Resolve();
+  switch (t->kind()) {
+    case TypeKind::kVoid:
+      return;
+    case TypeKind::kBool:
+      StoreScalar(t, dst, rng->NextBool() ? 1 : 0);
+      return;
+    case TypeKind::kOctet:
+    case TypeKind::kChar:
+      StoreScalar(t, dst, rng->NextBelow(256));
+      return;
+    case TypeKind::kI16:
+    case TypeKind::kU16:
+      StoreScalar(t, dst, rng->NextBelow(1u << 16));
+      return;
+    case TypeKind::kEnum: {
+      // Pick one of the declared members so the value round-trips as a
+      // meaningful discriminant too.
+      if (t->members().empty()) {
+        StoreScalar(t, dst, rng->NextBelow(1u << 31));
+      } else {
+        StoreScalar(
+            t, dst,
+            t->members()[rng->NextBelow(t->members().size())].value);
+      }
+      return;
+    }
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kF32:
+      StoreScalar(t, dst, rng->NextU32());
+      return;
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kObjRef:
+      StoreScalar(t, dst, rng->NextU64());
+      return;
+    case TypeKind::kF64: {
+      double v = rng->NextDouble() * 1e6;
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      StoreScalar(t, dst, bits);
+      return;
+    }
+    case TypeKind::kString: {
+      uint32_t max_len = t->bound() != 0 && t->bound() < 24 ? t->bound() : 24;
+      uint32_t len = static_cast<uint32_t>(rng->NextBelow(max_len + 1));
+      char* s = static_cast<char*>(arena->AllocateBlock(len + 1));
+      for (uint32_t i = 0; i < len; ++i) {
+        s[i] = static_cast<char>('a' + rng->NextBelow(26));
+      }
+      s[len] = '\0';
+      std::memcpy(dst, &s, sizeof(s));
+      return;
+    }
+    case TypeKind::kSequence: {
+      uint32_t max_len = t->bound() != 0 && t->bound() < 8 ? t->bound() : 8;
+      uint32_t len = static_cast<uint32_t>(rng->NextBelow(max_len + 1));
+      const Type* elem = t->element();
+      size_t stride = elem->Resolve()->kind() == TypeKind::kOctet ||
+                              elem->Resolve()->kind() == TypeKind::kChar
+                          ? 1
+                          : elem->NativeSize();
+      SeqRep rep;
+      rep.maximum = len;
+      rep.length = len;
+      rep.buffer = arena->AllocateBlock(len > 0 ? len * stride : 1);
+      auto* base = static_cast<uint8_t*>(rep.buffer);
+      for (uint32_t i = 0; i < len; ++i) {
+        FillRandomValue(rng, arena, elem, base + i * stride);
+      }
+      std::memcpy(dst, &rep, sizeof(rep));
+      return;
+    }
+    case TypeKind::kArray: {
+      const Type* elem = t->element();
+      size_t stride = elem->Resolve()->kind() == TypeKind::kOctet ||
+                              elem->Resolve()->kind() == TypeKind::kChar
+                          ? 1
+                          : elem->NativeSize();
+      auto* base = static_cast<uint8_t*>(dst);
+      for (uint32_t i = 0; i < t->bound(); ++i) {
+        FillRandomValue(rng, arena, elem, base + i * stride);
+      }
+      return;
+    }
+    case TypeKind::kStruct: {
+      auto* base = static_cast<uint8_t*>(dst);
+      for (size_t i = 0; i < t->fields().size(); ++i) {
+        FillRandomValue(rng, arena, t->fields()[i].type,
+                        base + NativeFieldOffset(t, i));
+      }
+      return;
+    }
+    case TypeKind::kUnion: {
+      const UnionArm& arm =
+          t->arms()[rng->NextBelow(t->arms().size())];
+      uint32_t disc = arm.label;
+      if (arm.is_default) {
+        // Pick a label no other arm uses.
+        disc = 0xFFFF;
+      }
+      std::memcpy(dst, &disc, sizeof(disc));
+      if (arm.type->Resolve()->kind() != TypeKind::kVoid) {
+        FillRandomValue(rng, arena, arm.type,
+                        static_cast<uint8_t*>(dst) + UnionPayloadOffset(t));
+      }
+      return;
+    }
+    case TypeKind::kAlias:
+      return;  // unreachable: Resolve() strips aliases
+  }
+}
+
+// Allocates NativeSize(type) bytes from `arena` and fills them randomly.
+inline void* RandomNativeValue(Rng* rng, Arena* arena, const Type* type) {
+  void* mem = arena->AllocateBlock(type->NativeSize() > 0
+                                       ? type->NativeSize()
+                                       : 1);
+  std::memset(mem, 0, type->NativeSize());
+  FillRandomValue(rng, arena, type, mem);
+  return mem;
+}
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_TESTS_VALUE_TESTUTIL_H_

@@ -1,0 +1,221 @@
+// idlc — the flexrpc stub compiler driver.
+//
+// Reads an interface definition (CORBA IDL or Sun RPC language), optionally
+// applies per-side PDL files, and emits C++ stubs:
+//
+//   idlc --idl pipe.idl [--sun]
+//        [--client-pdl client.pdl] [--server-pdl server.pdl]
+//        [--namespace ns] [--out-dir DIR] [--basename NAME]
+//        [--dump-signature] [--check]
+//
+// Outputs <basename>.flexgen.h and <basename>.flexgen.cc in --out-dir.
+// --check parses and validates only; --dump-signature prints the canonical
+// wire signature (hex) of every interface.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/codegen/cpp_gen.h"
+#include "src/idl/corba_parser.h"
+#include "src/idl/sema.h"
+#include "src/idl/sunrpc_parser.h"
+#include "src/pdl/apply.h"
+#include "src/sig/signature.h"
+#include "src/support/strings.h"
+
+namespace {
+
+struct Options {
+  std::string idl_path;
+  bool sun = false;
+  std::string client_pdl_path;
+  std::string server_pdl_path;
+  std::string ns = "flexgen";
+  std::string out_dir = ".";
+  std::string basename;
+  bool dump_signature = false;
+  bool check_only = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --idl FILE [--sun] [--client-pdl FILE] [--server-pdl "
+      "FILE]\n            [--namespace NS] [--out-dir DIR] [--basename "
+      "NAME] [--dump-signature] [--check]\n",
+      argv0);
+  return 2;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::string BasenameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--idl") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.idl_path = v;
+    } else if (arg == "--sun") {
+      opt.sun = true;
+    } else if (arg == "--client-pdl") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.client_pdl_path = v;
+    } else if (arg == "--server-pdl") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.server_pdl_path = v;
+    } else if (arg == "--namespace") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.ns = v;
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.out_dir = v;
+    } else if (arg == "--basename") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.basename = v;
+    } else if (arg == "--dump-signature") {
+      opt.dump_signature = true;
+    } else if (arg == "--check") {
+      opt.check_only = true;
+    } else {
+      std::fprintf(stderr, "idlc: unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (opt.idl_path.empty()) {
+    return Usage(argv[0]);
+  }
+  if (opt.basename.empty()) {
+    opt.basename = BasenameOf(opt.idl_path);
+  }
+
+  std::string idl_text;
+  if (!ReadFileToString(opt.idl_path, &idl_text)) {
+    std::fprintf(stderr, "idlc: cannot read '%s'\n", opt.idl_path.c_str());
+    return 1;
+  }
+
+  flexrpc::DiagnosticSink diags;
+  auto idl = opt.sun
+                 ? flexrpc::ParseSunRpc(idl_text, opt.idl_path, &diags)
+                 : flexrpc::ParseCorbaIdl(idl_text, opt.idl_path, &diags);
+  if (idl == nullptr || !flexrpc::AnalyzeInterfaceFile(idl.get(), &diags)) {
+    std::fputs(diags.ToString().c_str(), stderr);
+    return 1;
+  }
+
+  auto apply_side = [&](flexrpc::Side side, const std::string& pdl_path,
+                        flexrpc::PresentationSet* out) {
+    if (pdl_path.empty()) {
+      return flexrpc::ApplyPdl(*idl, side, nullptr, out, &diags);
+    }
+    std::string pdl_text;
+    if (!ReadFileToString(pdl_path, &pdl_text)) {
+      std::fprintf(stderr, "idlc: cannot read '%s'\n", pdl_path.c_str());
+      return false;
+    }
+    return flexrpc::ApplyPdlText(*idl, side, pdl_text, pdl_path, out,
+                                 &diags);
+  };
+
+  flexrpc::PresentationSet client_pres;
+  flexrpc::PresentationSet server_pres;
+  if (!apply_side(flexrpc::Side::kClient, opt.client_pdl_path,
+                  &client_pres) ||
+      !apply_side(flexrpc::Side::kServer, opt.server_pdl_path,
+                  &server_pres)) {
+    std::fputs(diags.ToString().c_str(), stderr);
+    return 1;
+  }
+
+  if (opt.dump_signature) {
+    for (const flexrpc::InterfaceDecl& itf : idl->interfaces) {
+      flexrpc::InterfaceSignature sig = flexrpc::BuildSignature(itf);
+      flexrpc::ByteWriter w;
+      flexrpc::EncodeSignature(sig, &w);
+      std::printf("%s (hash %016llx): ", itf.name.c_str(),
+                  static_cast<unsigned long long>(
+                      flexrpc::SignatureHash(sig)));
+      for (uint8_t byte : w.span()) {
+        std::printf("%02x", byte);
+      }
+      std::printf("\n");
+    }
+  }
+  if (opt.check_only) {
+    std::fprintf(stderr, "idlc: %s OK (%zu interface(s))\n",
+                 opt.idl_path.c_str(), idl->interfaces.size());
+    return 0;
+  }
+
+  flexrpc::CppGenOptions gen_options;
+  gen_options.ns = opt.ns;
+  gen_options.header_name = opt.basename + ".flexgen.h";
+  auto generated =
+      flexrpc::GenerateCpp(*idl, client_pres, server_pres, gen_options);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "idlc: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string header_path =
+      opt.out_dir + "/" + opt.basename + ".flexgen.h";
+  std::string source_path =
+      opt.out_dir + "/" + opt.basename + ".flexgen.cc";
+  std::ofstream header(header_path, std::ios::binary);
+  std::ofstream source(source_path, std::ios::binary);
+  if (!header || !source) {
+    std::fprintf(stderr, "idlc: cannot write outputs under '%s'\n",
+                 opt.out_dir.c_str());
+    return 1;
+  }
+  header << generated->header;
+  source << generated->source;
+  std::fprintf(stderr, "idlc: wrote %s and %s\n", header_path.c_str(),
+               source_path.c_str());
+  return 0;
+}
