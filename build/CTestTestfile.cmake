@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/support")
+subdirs("src/idl")
+subdirs("src/pdl")
+subdirs("src/sig")
+subdirs("src/marshal")
+subdirs("src/codegen")
+subdirs("src/osim")
+subdirs("src/ipc")
+subdirs("src/fbuf")
+subdirs("src/net")
+subdirs("src/rpc")
+subdirs("src/apps")
+subdirs("tools/idlc")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

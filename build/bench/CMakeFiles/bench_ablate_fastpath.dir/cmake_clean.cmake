@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_fastpath.dir/bench_ablate_fastpath.cc.o"
+  "CMakeFiles/bench_ablate_fastpath.dir/bench_ablate_fastpath.cc.o.d"
+  "bench_ablate_fastpath"
+  "bench_ablate_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

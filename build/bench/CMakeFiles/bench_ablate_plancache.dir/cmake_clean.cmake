@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_plancache.dir/bench_ablate_plancache.cc.o"
+  "CMakeFiles/bench_ablate_plancache.dir/bench_ablate_plancache.cc.o.d"
+  "bench_ablate_plancache"
+  "bench_ablate_plancache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_plancache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mutability.dir/bench_fig10_mutability.cc.o"
+  "CMakeFiles/bench_fig10_mutability.dir/bench_fig10_mutability.cc.o.d"
+  "bench_fig10_mutability"
+  "bench_fig10_mutability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mutability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

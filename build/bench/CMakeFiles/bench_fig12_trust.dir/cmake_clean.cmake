@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_trust.dir/bench_fig12_trust.cc.o"
+  "CMakeFiles/bench_fig12_trust.dir/bench_fig12_trust.cc.o.d"
+  "bench_fig12_trust"
+  "bench_fig12_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

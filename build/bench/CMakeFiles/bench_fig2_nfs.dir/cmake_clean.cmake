@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_nfs.dir/bench_fig2_nfs.cc.o"
+  "CMakeFiles/bench_fig2_nfs.dir/bench_fig2_nfs.cc.o.d"
+  "bench_fig2_nfs"
+  "bench_fig2_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_fbufs.cc" "bench/CMakeFiles/bench_fig7_fbufs.dir/bench_fig7_fbufs.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_fbufs.dir/bench_fig7_fbufs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/flexrpc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/flexrpc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/flexrpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbuf/CMakeFiles/flexrpc_fbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/flexrpc_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/osim/CMakeFiles/flexrpc_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marshal/CMakeFiles/flexrpc_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/flexrpc_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdl/CMakeFiles/flexrpc_pdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/flexrpc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fbufs.dir/bench_fig7_fbufs.cc.o"
+  "CMakeFiles/bench_fig7_fbufs.dir/bench_fig7_fbufs.cc.o.d"
+  "bench_fig7_fbufs"
+  "bench_fig7_fbufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fbufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_portname.dir/bench_tab_portname.cc.o"
+  "CMakeFiles/bench_tab_portname.dir/bench_tab_portname.cc.o.d"
+  "bench_tab_portname"
+  "bench_tab_portname.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_portname.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_read.dir/nfs_read.cpp.o"
+  "CMakeFiles/nfs_read.dir/nfs_read.cpp.o.d"
+  "nfs_read"
+  "nfs_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipe_demo.dir/pipe_demo.cpp.o"
+  "CMakeFiles/pipe_demo.dir/pipe_demo.cpp.o.d"
+  "pipe_demo"
+  "pipe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

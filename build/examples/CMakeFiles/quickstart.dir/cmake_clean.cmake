@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart.dir/gen/syslog.flexgen.cc.o"
+  "CMakeFiles/quickstart.dir/gen/syslog.flexgen.cc.o.d"
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  "gen/syslog.flexgen.cc"
+  "gen/syslog.flexgen.h"
+  "quickstart"
+  "quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_levels.dir/trust_levels.cpp.o"
+  "CMakeFiles/trust_levels.dir/trust_levels.cpp.o.d"
+  "trust_levels"
+  "trust_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[quickstart_runs]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[quickstart_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;44;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[trust_levels_runs]=] "/root/repo/build/examples/trust_levels")
+set_tests_properties([=[trust_levels_runs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;45;add_test;/root/repo/examples/CMakeLists.txt;0;")

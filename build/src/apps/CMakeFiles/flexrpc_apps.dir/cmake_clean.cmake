@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_apps.dir/nfs.cc.o"
+  "CMakeFiles/flexrpc_apps.dir/nfs.cc.o.d"
+  "CMakeFiles/flexrpc_apps.dir/pipe.cc.o"
+  "CMakeFiles/flexrpc_apps.dir/pipe.cc.o.d"
+  "libflexrpc_apps.a"
+  "libflexrpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

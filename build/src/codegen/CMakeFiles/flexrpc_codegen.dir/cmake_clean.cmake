@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_codegen.dir/cpp_gen.cc.o"
+  "CMakeFiles/flexrpc_codegen.dir/cpp_gen.cc.o.d"
+  "libflexrpc_codegen.a"
+  "libflexrpc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_fbuf.dir/channel.cc.o"
+  "CMakeFiles/flexrpc_fbuf.dir/channel.cc.o.d"
+  "CMakeFiles/flexrpc_fbuf.dir/fbuf.cc.o"
+  "CMakeFiles/flexrpc_fbuf.dir/fbuf.cc.o.d"
+  "libflexrpc_fbuf.a"
+  "libflexrpc_fbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_fbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flexrpc_fbuf.
+# This may be replaced when dependencies are built.

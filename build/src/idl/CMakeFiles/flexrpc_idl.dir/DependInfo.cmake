@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/ast.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/ast.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/ast.cc.o.d"
+  "/root/repo/src/idl/corba_parser.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/corba_parser.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/corba_parser.cc.o.d"
+  "/root/repo/src/idl/lexer.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/lexer.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/lexer.cc.o.d"
+  "/root/repo/src/idl/sema.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/sema.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/sema.cc.o.d"
+  "/root/repo/src/idl/sunrpc_parser.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/sunrpc_parser.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/sunrpc_parser.cc.o.d"
+  "/root/repo/src/idl/types.cc" "src/idl/CMakeFiles/flexrpc_idl.dir/types.cc.o" "gcc" "src/idl/CMakeFiles/flexrpc_idl.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

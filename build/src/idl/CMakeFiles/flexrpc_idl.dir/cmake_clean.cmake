@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_idl.dir/ast.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/ast.cc.o.d"
+  "CMakeFiles/flexrpc_idl.dir/corba_parser.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/corba_parser.cc.o.d"
+  "CMakeFiles/flexrpc_idl.dir/lexer.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/lexer.cc.o.d"
+  "CMakeFiles/flexrpc_idl.dir/sema.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/sema.cc.o.d"
+  "CMakeFiles/flexrpc_idl.dir/sunrpc_parser.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/sunrpc_parser.cc.o.d"
+  "CMakeFiles/flexrpc_idl.dir/types.cc.o"
+  "CMakeFiles/flexrpc_idl.dir/types.cc.o.d"
+  "libflexrpc_idl.a"
+  "libflexrpc_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

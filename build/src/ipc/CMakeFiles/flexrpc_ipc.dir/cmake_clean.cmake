@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_ipc.dir/fastpath.cc.o"
+  "CMakeFiles/flexrpc_ipc.dir/fastpath.cc.o.d"
+  "CMakeFiles/flexrpc_ipc.dir/oldpath.cc.o"
+  "CMakeFiles/flexrpc_ipc.dir/oldpath.cc.o.d"
+  "CMakeFiles/flexrpc_ipc.dir/threaded.cc.o"
+  "CMakeFiles/flexrpc_ipc.dir/threaded.cc.o.d"
+  "libflexrpc_ipc.a"
+  "libflexrpc_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

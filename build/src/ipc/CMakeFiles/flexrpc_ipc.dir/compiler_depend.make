@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexrpc_ipc.
+# This may be replaced when dependencies are built.

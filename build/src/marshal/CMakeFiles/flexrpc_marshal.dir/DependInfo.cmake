@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marshal/engine.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/engine.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/engine.cc.o.d"
+  "/root/repo/src/marshal/format.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/format.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/format.cc.o.d"
+  "/root/repo/src/marshal/layout.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/layout.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/layout.cc.o.d"
+  "/root/repo/src/marshal/native.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/native.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/native.cc.o.d"
+  "/root/repo/src/marshal/value.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/value.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/value.cc.o.d"
+  "/root/repo/src/marshal/xdr.cc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/xdr.cc.o" "gcc" "src/marshal/CMakeFiles/flexrpc_marshal.dir/xdr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdl/CMakeFiles/flexrpc_pdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/flexrpc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

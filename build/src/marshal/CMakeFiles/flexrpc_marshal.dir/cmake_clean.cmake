@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_marshal.dir/engine.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/engine.cc.o.d"
+  "CMakeFiles/flexrpc_marshal.dir/format.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/format.cc.o.d"
+  "CMakeFiles/flexrpc_marshal.dir/layout.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/layout.cc.o.d"
+  "CMakeFiles/flexrpc_marshal.dir/native.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/native.cc.o.d"
+  "CMakeFiles/flexrpc_marshal.dir/value.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/value.cc.o.d"
+  "CMakeFiles/flexrpc_marshal.dir/xdr.cc.o"
+  "CMakeFiles/flexrpc_marshal.dir/xdr.cc.o.d"
+  "libflexrpc_marshal.a"
+  "libflexrpc_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_net.dir/link.cc.o"
+  "CMakeFiles/flexrpc_net.dir/link.cc.o.d"
+  "CMakeFiles/flexrpc_net.dir/sunrpc.cc.o"
+  "CMakeFiles/flexrpc_net.dir/sunrpc.cc.o.d"
+  "libflexrpc_net.a"
+  "libflexrpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osim/address_space.cc" "src/osim/CMakeFiles/flexrpc_osim.dir/address_space.cc.o" "gcc" "src/osim/CMakeFiles/flexrpc_osim.dir/address_space.cc.o.d"
+  "/root/repo/src/osim/kernel.cc" "src/osim/CMakeFiles/flexrpc_osim.dir/kernel.cc.o" "gcc" "src/osim/CMakeFiles/flexrpc_osim.dir/kernel.cc.o.d"
+  "/root/repo/src/osim/port.cc" "src/osim/CMakeFiles/flexrpc_osim.dir/port.cc.o" "gcc" "src/osim/CMakeFiles/flexrpc_osim.dir/port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

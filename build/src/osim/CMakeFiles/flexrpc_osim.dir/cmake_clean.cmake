@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_osim.dir/address_space.cc.o"
+  "CMakeFiles/flexrpc_osim.dir/address_space.cc.o.d"
+  "CMakeFiles/flexrpc_osim.dir/kernel.cc.o"
+  "CMakeFiles/flexrpc_osim.dir/kernel.cc.o.d"
+  "CMakeFiles/flexrpc_osim.dir/port.cc.o"
+  "CMakeFiles/flexrpc_osim.dir/port.cc.o.d"
+  "libflexrpc_osim.a"
+  "libflexrpc_osim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_osim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdl/apply.cc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/apply.cc.o" "gcc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/apply.cc.o.d"
+  "/root/repo/src/pdl/pdl_parser.cc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/pdl_parser.cc.o" "gcc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/pdl_parser.cc.o.d"
+  "/root/repo/src/pdl/presentation.cc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/presentation.cc.o" "gcc" "src/pdl/CMakeFiles/flexrpc_pdl.dir/presentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/flexrpc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

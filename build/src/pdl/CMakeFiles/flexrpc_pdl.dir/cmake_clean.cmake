@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_pdl.dir/apply.cc.o"
+  "CMakeFiles/flexrpc_pdl.dir/apply.cc.o.d"
+  "CMakeFiles/flexrpc_pdl.dir/pdl_parser.cc.o"
+  "CMakeFiles/flexrpc_pdl.dir/pdl_parser.cc.o.d"
+  "CMakeFiles/flexrpc_pdl.dir/presentation.cc.o"
+  "CMakeFiles/flexrpc_pdl.dir/presentation.cc.o.d"
+  "libflexrpc_pdl.a"
+  "libflexrpc_pdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

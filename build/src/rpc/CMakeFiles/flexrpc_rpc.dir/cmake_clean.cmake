@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_rpc.dir/runtime.cc.o"
+  "CMakeFiles/flexrpc_rpc.dir/runtime.cc.o.d"
+  "CMakeFiles/flexrpc_rpc.dir/samedomain.cc.o"
+  "CMakeFiles/flexrpc_rpc.dir/samedomain.cc.o.d"
+  "libflexrpc_rpc.a"
+  "libflexrpc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_sig.dir/signature.cc.o"
+  "CMakeFiles/flexrpc_sig.dir/signature.cc.o.d"
+  "libflexrpc_sig.a"
+  "libflexrpc_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrpc_support.dir/arena.cc.o"
+  "CMakeFiles/flexrpc_support.dir/arena.cc.o.d"
+  "CMakeFiles/flexrpc_support.dir/diag.cc.o"
+  "CMakeFiles/flexrpc_support.dir/diag.cc.o.d"
+  "CMakeFiles/flexrpc_support.dir/status.cc.o"
+  "CMakeFiles/flexrpc_support.dir/status.cc.o.d"
+  "CMakeFiles/flexrpc_support.dir/strings.cc.o"
+  "CMakeFiles/flexrpc_support.dir/strings.cc.o.d"
+  "libflexrpc_support.a"
+  "libflexrpc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrpc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

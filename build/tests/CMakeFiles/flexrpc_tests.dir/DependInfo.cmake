@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_nfs_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/apps_nfs_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/apps_nfs_test.cc.o.d"
+  "/root/repo/tests/apps_pipe_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/apps_pipe_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/apps_pipe_test.cc.o.d"
+  "/root/repo/tests/codegen_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/codegen_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/codegen_test.cc.o.d"
+  "/root/repo/tests/fbuf_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/fbuf_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/fbuf_test.cc.o.d"
+  "/root/repo/tests/idl_corba_parser_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/idl_corba_parser_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/idl_corba_parser_test.cc.o.d"
+  "/root/repo/tests/idl_lexer_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/idl_lexer_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/idl_lexer_test.cc.o.d"
+  "/root/repo/tests/idl_sema_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/idl_sema_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/idl_sema_test.cc.o.d"
+  "/root/repo/tests/idl_sunrpc_parser_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/idl_sunrpc_parser_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/idl_sunrpc_parser_test.cc.o.d"
+  "/root/repo/tests/interop_matrix_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/interop_matrix_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/interop_matrix_test.cc.o.d"
+  "/root/repo/tests/ipc_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/ipc_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/ipc_test.cc.o.d"
+  "/root/repo/tests/marshal_engine_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/marshal_engine_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/marshal_engine_test.cc.o.d"
+  "/root/repo/tests/marshal_value_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/marshal_value_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/marshal_value_test.cc.o.d"
+  "/root/repo/tests/osim_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/osim_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/osim_test.cc.o.d"
+  "/root/repo/tests/pdl_apply_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_apply_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_apply_test.cc.o.d"
+  "/root/repo/tests/pdl_determinism_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_determinism_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_determinism_test.cc.o.d"
+  "/root/repo/tests/pdl_parser_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_parser_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/pdl_parser_test.cc.o.d"
+  "/root/repo/tests/rpc_runtime_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/rpc_runtime_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/rpc_runtime_test.cc.o.d"
+  "/root/repo/tests/samedomain_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/samedomain_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/samedomain_test.cc.o.d"
+  "/root/repo/tests/sig_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/sig_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/sig_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/flexrpc_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/flexrpc_tests.dir/support_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/flexrpc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/flexrpc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fbuf/CMakeFiles/flexrpc_fbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/flexrpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/flexrpc_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/osim/CMakeFiles/flexrpc_osim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marshal/CMakeFiles/flexrpc_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/flexrpc_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdl/CMakeFiles/flexrpc_pdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/flexrpc_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flexrpc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

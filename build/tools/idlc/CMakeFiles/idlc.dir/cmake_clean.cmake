@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlc.dir/main.cc.o"
+  "CMakeFiles/idlc.dir/main.cc.o.d"
+  "idlc"
+  "idlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
