@@ -1,0 +1,65 @@
+// flexcheck stage 1: the static presentation lint.
+//
+// Presentation annotations are *semantic promises* ([trashable],
+// [preserved], [dealloc], trust levels) the stub compiler exploits for copy
+// elision (paper §4) — a wrong or inconsistent annotation silently becomes
+// memory corruption or a leak at runtime instead of a compile error. This
+// pass runs on (InterfaceFile, InterfacePresentation) pairs after ApplyPdl
+// and reports every finding as a coded diagnostic (FLEX001–FLEX012), so CI
+// and tests can assert on exact codes.
+//
+// Severities:
+//   error   — the combination is unsound (double free, violated contract);
+//   warning — legal but almost certainly not what the author meant;
+//   note    — advisor findings (--advise): elidable copies the paper's §4
+//             optimizations would remove if the author annotated them.
+//
+// Stage 2 (the marshal-plan verifier) lives in plan_verifier.h.
+
+#ifndef FLEXRPC_SRC_ANALYSIS_FLEXCHECK_H_
+#define FLEXRPC_SRC_ANALYSIS_FLEXCHECK_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/idl/ast.h"
+#include "src/pdl/apply.h"
+#include "src/pdl/presentation.h"
+#include "src/support/diag.h"
+
+namespace flexrpc {
+
+// One entry of the stable diagnostic catalog. Codes never change meaning
+// once shipped; DESIGN.md documents the rationale for each.
+struct FlexCodeInfo {
+  std::string_view code;
+  DiagSeverity severity = DiagSeverity::kError;
+  std::string_view summary;
+};
+
+// Every FLEX code both stages can emit, in code order.
+const std::vector<FlexCodeInfo>& FlexCodeCatalog();
+
+// Catalog lookup; null for unknown codes.
+const FlexCodeInfo* FindFlexCode(std::string_view code);
+
+struct LintOptions {
+  // Emit the §4 advisor notes (FLEX011/FLEX012): elidable copies and
+  // per-call allocations the author could annotate away. Off by default so
+  // `idlc --lint` stays quiet on merely-unannotated interfaces.
+  bool advisors = false;
+};
+
+// Lints one interface's presentation for one side. Returns the number of
+// diagnostics emitted (all severities).
+int LintPresentation(const InterfaceFile& idl, const InterfaceDecl& itf,
+                     const InterfacePresentation& pres,
+                     DiagnosticSink* diags, const LintOptions& opts = {});
+
+// Lints every interface in `set` against `idl`.
+int LintPresentationSet(const InterfaceFile& idl, const PresentationSet& set,
+                        DiagnosticSink* diags, const LintOptions& opts = {});
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_ANALYSIS_FLEXCHECK_H_

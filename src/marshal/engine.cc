@@ -118,6 +118,33 @@ MarshalProgram MarshalProgram::Build(const OperationDecl& op,
   return prog;
 }
 
+MarshalPlanView MarshalProgram::Plan() const {
+  auto view_items = [](const std::vector<Item>& items) {
+    std::vector<PlanItemView> out;
+    out.reserve(items.size());
+    for (const Item& item : items) {
+      PlanItemView v;
+      v.type = item.type;
+      v.dir = item.dir;
+      v.is_result = item.is_result;
+      v.flattened = item.flattened;
+      v.slot = item.slot;
+      v.pres = item.pres;
+      v.disc_slot = item.disc_slot;
+      for (const FieldSlot& field : item.fields) {
+        v.fields.push_back(PlanFieldView{field.type, field.slot, field.pres});
+      }
+      out.push_back(std::move(v));
+    }
+    return out;
+  };
+  MarshalPlanView plan;
+  plan.slot_count = slot_count_;
+  plan.request = view_items(request_items_);
+  plan.reply = view_items(reply_items_);
+  return plan;
+}
+
 int MarshalProgram::SlotOf(std::string_view name) const {
   for (size_t i = 0; i < pres_->params.size(); ++i) {
     if (pres_->params[i].name == name) {

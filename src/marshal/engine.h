@@ -92,6 +92,34 @@ struct SpecialOps {
   std::function<void(void* dst, const uint8_t* src, size_t n)> copy_in;
 };
 
+// Read-only structural view of a compiled MarshalProgram: the wire-item
+// streams a program would execute, with the slot each item reads or writes.
+// This is the surface the flexcheck plan verifier (src/analysis/) audits
+// like a bytecode verifier; tests hand-build or corrupt a view to prove
+// each violation is caught.
+struct PlanFieldView {
+  const Type* type = nullptr;
+  int slot = -1;
+  const ParamPresentation* pres = nullptr;
+};
+
+struct PlanItemView {
+  const Type* type = nullptr;  // wire type of the whole item
+  ParamDir dir = ParamDir::kIn;
+  bool is_result = false;
+  bool flattened = false;
+  int slot = -1;  // direct slot; -1 when flattened
+  const ParamPresentation* pres = nullptr;
+  std::vector<PlanFieldView> fields;  // flattened struct fields, in order
+  int disc_slot = -1;  // flattened union result discriminant
+};
+
+struct MarshalPlanView {
+  size_t slot_count = 0;
+  std::vector<PlanItemView> request;
+  std::vector<PlanItemView> reply;
+};
+
 class MarshalProgram {
  public:
   // Compiles the program for one operation under one side's presentation.
@@ -133,6 +161,9 @@ class MarshalProgram {
 
   const OperationDecl& op() const { return *op_; }
   const OpPresentation& presentation() const { return *pres_; }
+
+  // Snapshot of the compiled item streams for the plan verifier.
+  MarshalPlanView Plan() const;
 
  private:
   // One wire item of the request or reply stream.

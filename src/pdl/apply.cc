@@ -9,44 +9,6 @@ namespace flexrpc {
 
 namespace {
 
-bool IsIntegralScalar(const Type* type) {
-  switch (type->Resolve()->kind()) {
-    case TypeKind::kI16:
-    case TypeKind::kU16:
-    case TypeKind::kI32:
-    case TypeKind::kU32:
-    case TypeKind::kI64:
-    case TypeKind::kU64:
-    case TypeKind::kEnum:
-      return true;
-    default:
-      return false;
-  }
-}
-
-// True if the wire size of `type` varies with the value. (Mirror of the
-// static helper in presentation.cc; duplicated to keep that one private.)
-bool VariableSize(const Type* type) {
-  const Type* t = type->Resolve();
-  switch (t->kind()) {
-    case TypeKind::kString:
-    case TypeKind::kSequence:
-    case TypeKind::kUnion:
-      return true;
-    case TypeKind::kArray:
-      return VariableSize(t->element());
-    case TypeKind::kStruct:
-      for (const StructField& f : t->fields()) {
-        if (VariableSize(f.type)) {
-          return true;
-        }
-      }
-      return false;
-    default:
-      return false;
-  }
-}
-
 ParamPresentation DefaultFieldPresentation(const std::string& name,
                                            const Type* type, ParamDir dir,
                                            Side side, Binding binding) {
@@ -54,7 +16,7 @@ ParamPresentation DefaultFieldPresentation(const std::string& name,
   p.name = name;
   p.binding = binding;
   bool produces_data = dir != ParamDir::kIn;
-  if (produces_data && VariableSize(type)) {
+  if (produces_data && IsVariableWireSize(type)) {
     if (side == Side::kServer) {
       p.alloc = AllocPolicy::kUser;
       p.dealloc = DeallocPolicy::kAlways;
@@ -663,23 +625,48 @@ bool ApplyPdlText(const InterfaceFile& idl, Side side,
   return ApplyPdl(idl, side, pdl.get(), out, diags);
 }
 
+namespace {
+
+// Bounds-checked indexing: bindings may come from hand-built or corrupted
+// presentations (flexcheck lints exactly those), so out-of-range indices
+// must resolve to "no type" rather than UB.
+const ParamDecl* BoundParam(const OperationDecl& op, const Binding& binding) {
+  if (binding.param_index < 0 ||
+      binding.param_index >= static_cast<int>(op.params.size())) {
+    return nullptr;
+  }
+  return &op.params[static_cast<size_t>(binding.param_index)];
+}
+
+const Type* BoundField(const Type* aggregate, int field_index) {
+  if (aggregate == nullptr) {
+    return nullptr;
+  }
+  const Type* s = aggregate->Resolve();
+  if (field_index < 0 ||
+      field_index >= static_cast<int>(s->fields().size())) {
+    return nullptr;
+  }
+  return s->fields()[static_cast<size_t>(field_index)].type;
+}
+
+}  // namespace
+
 const Type* BindingType(const OperationDecl& op, const Binding& binding) {
   switch (binding.kind) {
-    case BindingKind::kParam:
-      return op.params[static_cast<size_t>(binding.param_index)].type;
+    case BindingKind::kParam: {
+      const ParamDecl* p = BoundParam(op, binding);
+      return p == nullptr ? nullptr : p->type;
+    }
     case BindingKind::kParamField: {
-      const Type* s =
-          op.params[static_cast<size_t>(binding.param_index)].type->Resolve();
-      return s->fields()[static_cast<size_t>(binding.field_index)].type;
+      const ParamDecl* p = BoundParam(op, binding);
+      return BoundField(p == nullptr ? nullptr : p->type,
+                        binding.field_index);
     }
     case BindingKind::kResult:
       return op.result;
-    case BindingKind::kResultField: {
-      const Type* s = FlattenableResultStruct(op);
-      return s == nullptr
-                 ? nullptr
-                 : s->fields()[static_cast<size_t>(binding.field_index)].type;
-    }
+    case BindingKind::kResultField:
+      return BoundField(FlattenableResultStruct(op), binding.field_index);
     case BindingKind::kResultDiscriminant:
       return op.result->Resolve()->discriminant();
     case BindingKind::kPresentationOnly:
@@ -691,8 +678,10 @@ const Type* BindingType(const OperationDecl& op, const Binding& binding) {
 ParamDir BindingDir(const OperationDecl& op, const Binding& binding) {
   switch (binding.kind) {
     case BindingKind::kParam:
-    case BindingKind::kParamField:
-      return op.params[static_cast<size_t>(binding.param_index)].dir;
+    case BindingKind::kParamField: {
+      const ParamDecl* p = BoundParam(op, binding);
+      return p == nullptr ? ParamDir::kOut : p->dir;
+    }
     default:
       return ParamDir::kOut;
   }

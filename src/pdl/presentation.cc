@@ -75,11 +75,7 @@ bool IsBufferLike(const Type* type) {
   }
 }
 
-namespace {
-
-// True if the wire size of `type` varies with the value (so the receiver
-// cannot preallocate exactly without more information).
-bool IsVariableSize(const Type* type) {
+bool IsVariableWireSize(const Type* type) {
   const Type* t = type->Resolve();
   switch (t->kind()) {
     case TypeKind::kString:
@@ -87,10 +83,10 @@ bool IsVariableSize(const Type* type) {
     case TypeKind::kUnion:
       return true;
     case TypeKind::kArray:
-      return IsVariableSize(t->element());
+      return IsVariableWireSize(t->element());
     case TypeKind::kStruct:
       for (const StructField& f : t->fields()) {
-        if (IsVariableSize(f.type)) {
+        if (IsVariableWireSize(f.type)) {
           return true;
         }
       }
@@ -99,6 +95,23 @@ bool IsVariableSize(const Type* type) {
       return false;
   }
 }
+
+bool IsIntegralScalar(const Type* type) {
+  switch (type->Resolve()->kind()) {
+    case TypeKind::kI16:
+    case TypeKind::kU16:
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kEnum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
 
 ParamPresentation DefaultParamPresentation(const std::string& name,
                                            const Type* type, ParamDir dir,
@@ -111,7 +124,7 @@ ParamPresentation DefaultParamPresentation(const std::string& name,
   if (t->kind() == TypeKind::kVoid) {
     return p;
   }
-  if (IsVariableSize(t) && produces_data) {
+  if (IsVariableWireSize(t) && produces_data) {
     if (side == Side::kServer) {
       // CORBA/COM move semantics: the work function allocates and donates;
       // the stub deallocates once the data has been marshaled out.

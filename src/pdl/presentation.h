@@ -175,6 +175,15 @@ InterfacePresentation DefaultPresentation(const InterfaceDecl& itf,
 // somewhere else (string, sequence, array).
 bool IsBufferLike(const Type* type);
 
+// True if the wire size of `type` varies with the value (so the receiver
+// cannot preallocate exactly without more information). Drives the default
+// alloc/dealloc split and flexcheck's move-semantics advisor.
+bool IsVariableWireSize(const Type* type);
+
+// True for integer-valued scalars (including enums) — the types a
+// [length_is] slot may carry.
+bool IsIntegralScalar(const Type* type);
+
 }  // namespace flexrpc
 
 #endif  // FLEXRPC_SRC_PDL_PRESENTATION_H_

@@ -4,8 +4,7 @@
 
 namespace flexrpc {
 
-namespace {
-const char* SeverityName(DiagSeverity severity) {
+std::string_view DiagSeverityName(DiagSeverity severity) {
   switch (severity) {
     case DiagSeverity::kError:
       return "error";
@@ -16,20 +15,47 @@ const char* SeverityName(DiagSeverity severity) {
   }
   return "?";
 }
-}  // namespace
 
 std::string Diagnostic::ToString() const {
-  return StrFormat("%s:%d:%d: %s: %s", file.c_str(), pos.line, pos.column,
-                   SeverityName(severity), message.c_str());
+  std::string out = StrFormat(
+      "%s:%d:%d: %s: %s", file.c_str(), pos.line, pos.column,
+      std::string(DiagSeverityName(severity)).c_str(), message.c_str());
+  if (!code.empty()) {
+    out += StrFormat(" [%s]", code.c_str());
+  }
+  return out;
 }
 
-void DiagnosticSink::Add(DiagSeverity severity, std::string file,
-                         SourcePos pos, std::string message) {
+void DiagnosticSink::Report(DiagSeverity severity, std::string code,
+                            std::string file, SourcePos pos,
+                            std::string message) {
   if (severity == DiagSeverity::kError) {
     ++error_count_;
+  } else if (severity == DiagSeverity::kWarning) {
+    ++warning_count_;
   }
-  diagnostics_.push_back(
-      Diagnostic{severity, std::move(file), pos, std::move(message)});
+  diagnostics_.push_back(Diagnostic{severity, std::move(code),
+                                    std::move(file), pos,
+                                    std::move(message)});
+}
+
+int DiagnosticSink::CountCode(std::string_view code) const {
+  int n = 0;
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.code == code) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const Diagnostic* DiagnosticSink::FindCode(std::string_view code) const {
+  for (const Diagnostic& diag : diagnostics_) {
+    if (diag.code == code) {
+      return &diag;
+    }
+  }
+  return nullptr;
 }
 
 std::string DiagnosticSink::ToString() const {

@@ -8,6 +8,7 @@
 #define FLEXRPC_SRC_SUPPORT_DIAG_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace flexrpc {
@@ -22,13 +23,18 @@ struct SourcePos {
 
 enum class DiagSeverity { kError, kWarning, kNote };
 
+std::string_view DiagSeverityName(DiagSeverity severity);
+
 struct Diagnostic {
   DiagSeverity severity = DiagSeverity::kError;
+  // Stable machine-checkable code ("FLEX001"); empty for ad-hoc parser
+  // diagnostics. Codes never change meaning once shipped.
+  std::string code;
   std::string file;
   SourcePos pos;
   std::string message;
 
-  // "file:line:col: error: message"
+  // "file:line:col: error: message [CODE]"
   std::string ToString() const;
 };
 
@@ -40,13 +46,28 @@ class DiagnosticSink {
   void Warning(std::string file, SourcePos pos, std::string message) {
     Add(DiagSeverity::kWarning, std::move(file), pos, std::move(message));
   }
+  void Note(std::string file, SourcePos pos, std::string message) {
+    Add(DiagSeverity::kNote, std::move(file), pos, std::move(message));
+  }
 
   void Add(DiagSeverity severity, std::string file, SourcePos pos,
-           std::string message);
+           std::string message) {
+    Report(severity, /*code=*/"", std::move(file), pos, std::move(message));
+  }
+
+  // Full-fidelity entry point: a coded diagnostic (flexcheck's FLEXnnn).
+  void Report(DiagSeverity severity, std::string code, std::string file,
+              SourcePos pos, std::string message);
 
   bool HasErrors() const { return error_count_ > 0; }
+  bool HasWarnings() const { return warning_count_ > 0; }
   int error_count() const { return error_count_; }
+  int warning_count() const { return warning_count_; }
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // Occurrences of a coded diagnostic; the machine-checkable test interface.
+  int CountCode(std::string_view code) const;
+  const Diagnostic* FindCode(std::string_view code) const;
 
   // All diagnostics joined with newlines; convenient for test failure output.
   std::string ToString() const;
@@ -54,6 +75,7 @@ class DiagnosticSink {
  private:
   std::vector<Diagnostic> diagnostics_;
   int error_count_ = 0;
+  int warning_count_ = 0;
 };
 
 }  // namespace flexrpc

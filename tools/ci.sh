@@ -1,0 +1,36 @@
+#!/bin/sh
+# CI entry point: style check, plain build + tests, then an ASan+UBSan
+# build + tests. Also lints the example IDL/PDL with flexcheck.
+#
+#   tools/ci.sh            # everything
+#   SKIP_SAN=1 tools/ci.sh # plain build only (fast local loop)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== format check =="
+sh tools/format.sh --check
+
+run_suite() {
+  build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== plain build + tests =="
+run_suite build
+
+echo "== flexcheck on the examples =="
+./build/tools/idlc/idlc --idl examples/idl/syslog.idl \
+  --client-pdl examples/idl/syslog_client.pdl \
+  --lint --Werror --check
+
+if [ "${SKIP_SAN:-}" != 1 ]; then
+  echo "== ASan+UBSan build + tests =="
+  run_suite build-asan -DFLEXRPC_SANITIZE=address,undefined
+fi
+
+echo "ci.sh: all green"

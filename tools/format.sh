@@ -1,0 +1,28 @@
+#!/bin/sh
+# Formats (or with --check, verifies) every tracked C++ source with the
+# repository's .clang-format. Skips gracefully when clang-format is not
+# installed so tools/ci.sh works in minimal containers.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE=format
+if [ "${1:-}" = "--check" ]; then
+  MODE=check
+fi
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "format.sh: $CLANG_FORMAT not found; skipping" >&2
+  exit 0
+fi
+
+FILES=$(git ls-files '*.cc' '*.h' '*.cpp')
+if [ "$MODE" = check ]; then
+  # shellcheck disable=SC2086
+  "$CLANG_FORMAT" --dry-run --Werror $FILES
+  echo "format.sh: all files clean"
+else
+  # shellcheck disable=SC2086
+  "$CLANG_FORMAT" -i $FILES
+fi

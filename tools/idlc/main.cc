@@ -6,11 +6,14 @@
 //   idlc --idl pipe.idl [--sun]
 //        [--client-pdl client.pdl] [--server-pdl server.pdl]
 //        [--namespace ns] [--out-dir DIR] [--basename NAME]
-//        [--dump-signature] [--check]
+//        [--dump-signature] [--check] [--lint] [--advise] [--Werror]
 //
 // Outputs <basename>.flexgen.h and <basename>.flexgen.cc in --out-dir.
-// --check parses and validates only; --dump-signature prints the canonical
-// wire signature (hex) of every interface.
+// --check parses, validates, and runs the flexcheck marshal-plan verifier
+// over every compiled (operation, side) program; --lint runs the flexcheck
+// presentation lint (FLEXnnn diagnostics), --advise adds its §4 advisor
+// notes; --Werror makes warnings fail the run; --dump-signature prints the
+// canonical wire signature (hex) of every interface.
 
 #include <cstdio>
 #include <cstring>
@@ -18,10 +21,13 @@
 #include <sstream>
 #include <string>
 
+#include "src/analysis/flexcheck.h"
+#include "src/analysis/plan_verifier.h"
 #include "src/codegen/cpp_gen.h"
 #include "src/idl/corba_parser.h"
 #include "src/idl/sema.h"
 #include "src/idl/sunrpc_parser.h"
+#include "src/marshal/engine.h"
 #include "src/pdl/apply.h"
 #include "src/sig/signature.h"
 #include "src/support/strings.h"
@@ -38,6 +44,9 @@ struct Options {
   std::string basename;
   bool dump_signature = false;
   bool check_only = false;
+  bool lint = false;
+  bool advise = false;
+  bool werror = false;
 };
 
 int Usage(const char* argv0) {
@@ -45,7 +54,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --idl FILE [--sun] [--client-pdl FILE] [--server-pdl "
       "FILE]\n            [--namespace NS] [--out-dir DIR] [--basename "
-      "NAME] [--dump-signature] [--check]\n",
+      "NAME] [--dump-signature]\n            [--check] [--lint] [--advise] "
+      "[--Werror]\n",
       argv0);
   return 2;
 }
@@ -120,6 +130,12 @@ int main(int argc, char** argv) {
       opt.dump_signature = true;
     } else if (arg == "--check") {
       opt.check_only = true;
+    } else if (arg == "--lint") {
+      opt.lint = true;
+    } else if (arg == "--advise") {
+      opt.advise = true;
+    } else if (arg == "--Werror") {
+      opt.werror = true;
     } else {
       std::fprintf(stderr, "idlc: unknown option '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -184,6 +200,37 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+  }
+  if (opt.lint) {
+    flexrpc::LintOptions lint_opts;
+    lint_opts.advisors = opt.advise;
+    flexrpc::LintPresentationSet(*idl, client_pres, &diags, lint_opts);
+    flexrpc::LintPresentationSet(*idl, server_pres, &diags, lint_opts);
+  }
+  if (opt.check_only) {
+    // Audit every (operation, side) marshal program the runtime would
+    // compile at bind time — flexcheck stage 2.
+    for (const flexrpc::InterfaceDecl& itf : idl->interfaces) {
+      for (const flexrpc::PresentationSet* set :
+           {&client_pres, &server_pres}) {
+        const flexrpc::InterfacePresentation* pres = set->Find(itf.name);
+        for (const flexrpc::OperationDecl& op : itf.ops) {
+          const flexrpc::OpPresentation* op_pres = pres->FindOp(op.name);
+          flexrpc::MarshalProgram program =
+              flexrpc::MarshalProgram::Build(op, *op_pres);
+          flexrpc::VerifyProgram(program, opt.idl_path, &diags);
+        }
+      }
+    }
+  }
+
+  // Print everything collected — warnings and notes included, so lint
+  // output is visible (and machine-checkable) even on success.
+  if (!diags.diagnostics().empty()) {
+    std::fputs(diags.ToString().c_str(), stderr);
+  }
+  if (diags.HasErrors() || (opt.werror && diags.HasWarnings())) {
+    return 1;
   }
   if (opt.check_only) {
     std::fprintf(stderr, "idlc: %s OK (%zu interface(s))\n",
