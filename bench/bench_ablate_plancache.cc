@@ -130,9 +130,8 @@ BENCHMARK(BM_SameDomainPlan)
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("ablate_plancache", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::PercentMore;
   using flexrpc_bench::PrintHeader;
@@ -140,23 +139,31 @@ int main(int argc, char** argv) {
 
   PrintHeader(
       "Ablation: bind-time plans vs per-call recomputation");
-  constexpr int kCalls = 300000;
+  const int kCalls = harness.calls(300000, 300);
   SameDomainRig bind_rig(
       flexrpc::SameDomainConnection::PlanMode::kBindTime);
   SameDomainRig dumb_rig(
       flexrpc::SameDomainConnection::PlanMode::kPerCall);
-  double bind_ns = bind_rig.NsPerCall(kCalls);
-  double dumb_ns = dumb_rig.NsPerCall(kCalls);
+  double bind_ns =
+      harness.BestOf(1, true, [&] { return bind_rig.NsPerCall(kCalls); });
+  double dumb_ns =
+      harness.BestOf(1, true, [&] { return dumb_rig.NsPerCall(kCalls); });
   std::printf("same-domain semantics: bind-time %8.1f ns   per-call "
               "(\"dumb\") %8.1f ns   (+%.1f%%)\n",
               bind_ns, dumb_ns, PercentMore(bind_ns, dumb_ns));
   std::printf("  (paper: the per-call overhead is \"negligible\")\n");
 
-  double cached = ThreadedNs(false, kCalls);
-  double rebuilt = ThreadedNs(true, kCalls);
+  double cached =
+      harness.BestOf(1, true, [&] { return ThreadedNs(false, kCalls); });
+  double rebuilt =
+      harness.BestOf(1, true, [&] { return ThreadedNs(true, kCalls); });
   std::printf("threaded transport:    cached    %8.1f ns   reassembled "
               "per call %8.1f ns   (+%.1f%%)\n",
               cached, rebuilt, PercentMore(cached, rebuilt));
   PrintRule();
-  return 0;
+  harness.Report("samedomain_bindtime_ns", bind_ns, "ns/call");
+  harness.Report("samedomain_percall_ns", dumb_ns, "ns/call");
+  harness.Report("threaded_cached_ns", cached, "ns/call");
+  harness.Report("threaded_reassembled_ns", rebuilt, "ns/call");
+  return harness.Finish();
 }

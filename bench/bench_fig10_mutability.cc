@@ -180,9 +180,8 @@ BENCHMARK(BM_SameDomainIn)
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("fig10_mutability", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::Bar;
   using flexrpc_bench::PrintHeader;
@@ -191,25 +190,21 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Figure 10: same-domain RPC, 1KB in parameter — copy vs borrow vs "
       "flexible");
-  constexpr int kCalls = 200000;
+  const int kCalls = harness.calls(200000, 200);
+  const int kReps = harness.reps(3);
+  const char* kSystemKeys[3] = {"fixed_copy", "fixed_borrow", "flexible"};
   std::printf("%-36s %12s %12s %12s\n", "scenario (ns/call)", "fixed-copy",
               "fixed-borrow", "flexible");
-  double max = 0;
   double table[4][3];
   for (int s = 0; s < 4; ++s) {
     for (int sys = 0; sys < 3; ++sys) {
       Rig rig(static_cast<System>(sys), kScenarios[s]);
-      double best = 0;
-      for (int rep = 0; rep < 3; ++rep) {
-        double ns = rig.NsPerCall(kCalls);
-        if (rep == 0 || ns < best) {
-          best = ns;
-        }
-      }
+      double best = harness.BestOf(kReps, /*smaller_is_better=*/true,
+                                   [&] { return rig.NsPerCall(kCalls); });
       table[s][sys] = best;
-      if (best > max) {
-        max = best;
-      }
+      harness.Report(std::string("scenario") + std::to_string(s) + "_" +
+                         kSystemKeys[sys] + "_ns",
+                     best, "ns/call");
     }
   }
   for (int s = 0; s < 4; ++s) {
@@ -222,5 +217,5 @@ int main(int argc, char** argv) {
       "is fast\nexcept when the server modifies (manual copy); flexible "
       "copies only in the\n'server modifies + client needs data' cell and "
       "never needs glue.\n");
-  return 0;
+  return harness.Finish();
 }

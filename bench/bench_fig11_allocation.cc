@@ -239,9 +239,8 @@ BENCHMARK(BM_SameDomainOut)
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("fig11_allocation", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::PrintHeader;
   using flexrpc_bench::PrintRule;
@@ -249,21 +248,21 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Figure 11: same-domain RPC, 1KB out parameter — allocation "
       "semantics");
-  constexpr int kCalls = 200000;
+  const int kCalls = harness.calls(200000, 200);
+  const int kReps = harness.reps(3);
+  const char* kSystemKeys[3] = {"server_alloc", "client_alloc", "flexible"};
   std::printf("%-34s %13s %13s %13s\n", "requirements (ns/call)",
               "server-alloc", "client-alloc", "flexible");
   double table[4][3];
   for (int s = 0; s < 4; ++s) {
     for (int sys = 0; sys < 3; ++sys) {
       Rig rig(static_cast<System>(sys), kScenarios[s]);
-      double best = 0;
-      for (int rep = 0; rep < 3; ++rep) {
-        double ns = rig.NsPerCall(kCalls);
-        if (rep == 0 || ns < best) {
-          best = ns;
-        }
-      }
+      double best = harness.BestOf(kReps, /*smaller_is_better=*/true,
+                                   [&] { return rig.NsPerCall(kCalls); });
       table[s][sys] = best;
+      harness.Report(std::string("scenario") + std::to_string(s) + "_" +
+                         kSystemKeys[sys] + "_ns",
+                     best, "ns/call");
     }
   }
   for (int s = 0; s < 4; ++s) {
@@ -277,5 +276,5 @@ int main(int argc, char** argv) {
       "beats the other; in the\nmismatch groups (first and last rows) "
       "flexible ties the best achievable —\n'someone must do the "
       "copying' — but without hand-written glue.\n");
-  return 0;
+  return harness.Finish();
 }

@@ -86,9 +86,8 @@ BENCHMARK(BM_NullRpcTrust)
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("fig12_trust", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::PercentFaster;
   using flexrpc_bench::PrintHeader;
@@ -97,19 +96,20 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Figure 12: null RPC latency under all trust combinations "
       "(ns/call)");
-  constexpr int kCalls = 400000;
+  const int kCalls = harness.calls(400000, 400);
+  const int kReps = harness.reps(5);
   double table[3][3];
   for (int c = 0; c < 3; ++c) {
     for (int s = 0; s < 3; ++s) {
-      double best = 0;
-      for (int rep = 0; rep < 5; ++rep) {
-        NullRig rig(kLevels[c], kLevels[s]);
-        double ns = rig.NsPerCall(kCalls);
-        if (rep == 0 || ns < best) {
-          best = ns;
-        }
-      }
+      double best =
+          harness.BestOf(kReps, /*smaller_is_better=*/true, [&] {
+            NullRig rig(kLevels[c], kLevels[s]);
+            return rig.NsPerCall(kCalls);
+          });
       table[c][s] = best;
+      harness.Report(std::string(kLevelNames[c]) + "_" + kLevelNames[s] +
+                         "_ns",
+                     best, "ns/call");
     }
   }
   std::printf("%-16s", "client\\server");
@@ -131,5 +131,7 @@ int main(int argc, char** argv) {
   std::printf("server [leaky] vs [leaky, unprotected] columns: %.1f%% "
               "apart   (paper: identical)\n",
               (table[0][2] - table[0][1]) / table[0][1] * 100.0);
-  return 0;
+  harness.Report("corner_improvement_pct",
+                 PercentFaster(table[0][0], table[2][2]), "%");
+  return harness.Finish();
 }

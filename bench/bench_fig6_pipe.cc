@@ -131,9 +131,8 @@ BENCHMARK(BM_PipeTransfer)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("fig6_pipe", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::Bar;
   using flexrpc_bench::PercentMore;
@@ -143,22 +142,19 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Figure 6: pipe server throughput, default vs [dealloc(never)] "
       "server read presentation");
-  constexpr size_t kTotal = 64u << 20;
+  const size_t kTotal = harness.bytes(64u << 20, 1u << 20);
+  const int kReps = harness.reps(3);
   for (size_t capacity : {size_t{4096}, size_t{8192}}) {
-    double best_default = 0;
-    double best_zero = 0;
-    for (int rep = 0; rep < 3; ++rep) {
-      double d = MeasureThroughputMBps(
-          PipeServerApp::ReadPresentation::kDefault, capacity, kTotal);
-      double z = MeasureThroughputMBps(
-          PipeServerApp::ReadPresentation::kZeroCopy, capacity, kTotal);
-      if (d > best_default) {
-        best_default = d;
-      }
-      if (z > best_zero) {
-        best_zero = z;
-      }
-    }
+    double best_default = harness.BestOf(
+        kReps, /*smaller_is_better=*/false, [&] {
+          return MeasureThroughputMBps(
+              PipeServerApp::ReadPresentation::kDefault, capacity, kTotal);
+        });
+    double best_zero = harness.BestOf(
+        kReps, /*smaller_is_better=*/false, [&] {
+          return MeasureThroughputMBps(
+              PipeServerApp::ReadPresentation::kZeroCopy, capacity, kTotal);
+        });
     double max = best_zero > best_default ? best_zero : best_default;
     std::printf("%zuK pipe, default presentation   %8.1f MB/s  %s\n",
                 capacity / 1024, best_default,
@@ -169,7 +165,12 @@ int main(int argc, char** argv) {
     std::printf("  improvement: %.1f%%   (paper: %s)\n\n",
                 PercentMore(best_default, best_zero),
                 capacity == 4096 ? "21%" : "24%");
+    std::string key = std::to_string(capacity / 1024) + "K";
+    harness.Report(key + "_default_MBps", best_default, "MB/s");
+    harness.Report(key + "_dealloc_never_MBps", best_zero, "MB/s");
+    harness.Report(key + "_improvement_pct",
+                   PercentMore(best_default, best_zero), "%");
   }
   PrintRule();
-  return 0;
+  return harness.Finish();
 }

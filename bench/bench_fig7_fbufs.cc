@@ -123,9 +123,8 @@ BENCHMARK(BM_FbufPipe)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("fig7_fbufs", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::Bar;
   using flexrpc_bench::PercentMore;
@@ -135,31 +134,24 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Figure 7: pipe server over fbufs — standard vs [special] server "
       "presentation");
-  constexpr size_t kTotal = 128u << 20;
+  const size_t kTotal = harness.bytes(128u << 20, 1u << 20);
+  const int kReps = harness.reps(3);
 
-  double mono = 0;
-  for (int rep = 0; rep < 3; ++rep) {
-    double m = MeasureMonolithicMBps(kTotal);
-    if (m > mono) {
-      mono = m;
-    }
-  }
+  double mono =
+      harness.BestOf(kReps, /*smaller_is_better=*/false,
+                     [&] { return MeasureMonolithicMBps(kTotal); });
 
   for (size_t capacity : {size_t{4096}, size_t{8192}}) {
-    double standard = 0;
-    double special = 0;
-    for (int rep = 0; rep < 3; ++rep) {
-      double s = MeasureFbufPipeMBps(
-          PipeServerFbuf::Presentation::kStandard, capacity, kTotal);
-      double x = MeasureFbufPipeMBps(
-          PipeServerFbuf::Presentation::kSpecial, capacity, kTotal);
-      if (s > standard) {
-        standard = s;
-      }
-      if (x > special) {
-        special = x;
-      }
-    }
+    double standard = harness.BestOf(
+        kReps, /*smaller_is_better=*/false, [&] {
+          return MeasureFbufPipeMBps(
+              PipeServerFbuf::Presentation::kStandard, capacity, kTotal);
+        });
+    double special = harness.BestOf(
+        kReps, /*smaller_is_better=*/false, [&] {
+          return MeasureFbufPipeMBps(
+              PipeServerFbuf::Presentation::kSpecial, capacity, kTotal);
+        });
     double max = special > mono ? special : mono;
     std::printf("%zuK pipe, standard presentation  %8.1f MB/s  %s\n",
                 capacity / 1024, standard, Bar(standard, max, 30).c_str());
@@ -168,9 +160,15 @@ int main(int argc, char** argv) {
     std::printf("  improvement: %.1f%%   (paper: %s)\n\n",
                 PercentMore(standard, special),
                 capacity == 4096 ? "92%" : "160%");
+    std::string key = std::to_string(capacity / 1024) + "K";
+    harness.Report(key + "_standard_MBps", standard, "MB/s");
+    harness.Report(key + "_special_MBps", special, "MB/s");
+    harness.Report(key + "_improvement_pct", PercentMore(standard, special),
+                   "%");
   }
   std::printf("reference: monolithic 4.3BSD pipe  %8.1f MB/s  %s\n", mono,
               Bar(mono, mono, 30).c_str());
   PrintRule();
-  return 0;
+  harness.Report("monolithic_MBps", mono, "MB/s");
+  return harness.Finish();
 }

@@ -60,9 +60,8 @@ BENCHMARK(BM_PortTransfer)
     ->Unit(benchmark::kNanosecond);
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  flexrpc_bench::BenchHarness harness("tab_portname", &argc, argv);
+  harness.RunMicrobenchmarks();
 
   using flexrpc_bench::PercentFaster;
   using flexrpc_bench::PrintHeader;
@@ -71,19 +70,14 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Port right transfer: unique-name semantics vs [nonunique] "
       "(paper §4.5)");
-  constexpr int kCalls = 2000000;
-  double unique_ns = 0;
-  double nonunique_ns = 0;
-  for (int rep = 0; rep < 5; ++rep) {
-    double u = NsPerTransfer(false, kCalls);
-    double n = NsPerTransfer(true, kCalls);
-    if (rep == 0 || u < unique_ns) {
-      unique_ns = u;
-    }
-    if (rep == 0 || n < nonunique_ns) {
-      nonunique_ns = n;
-    }
-  }
+  const int kCalls = harness.calls(2000000, 2000);
+  const int kReps = harness.reps(5);
+  double unique_ns = harness.BestOf(
+      kReps, /*smaller_is_better=*/true,
+      [&] { return NsPerTransfer(false, kCalls); });
+  double nonunique_ns = harness.BestOf(
+      kReps, /*smaller_is_better=*/true,
+      [&] { return NsPerTransfer(true, kCalls); });
   std::printf("unique-name transfer:    %8.1f ns   (paper: 32.4 us)\n",
               unique_ns);
   std::printf("[nonunique] transfer:    %8.1f ns   (paper: 24.7 us)\n",
@@ -91,5 +85,9 @@ int main(int argc, char** argv) {
   PrintRule();
   std::printf("reduction: %.1f%%   (paper: 24%%)\n",
               PercentFaster(unique_ns, nonunique_ns));
-  return 0;
+  harness.Report("unique_transfer_ns", unique_ns, "ns/transfer");
+  harness.Report("nonunique_transfer_ns", nonunique_ns, "ns/transfer");
+  harness.Report("reduction_pct", PercentFaster(unique_ns, nonunique_ns),
+                 "%");
+  return harness.Finish();
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/support/trace.h"
+
 namespace flexrpc {
 
 Status FbufChannel::Call(uint32_t opnum, FbufAggregate request,
@@ -10,6 +12,8 @@ Status FbufChannel::Call(uint32_t opnum, FbufAggregate request,
     return FailedPreconditionError("fbuf channel has no server");
   }
   ++calls_;
+  TraceAdd(TraceCounter::kFbufChannelCalls);
+  TraceObserve(TraceHistogram::kIpcMessageBytes, request.size());
   // Control transfer into the server: trap + control message copy. The
   // data itself stays in the shared fbufs.
   kernel_->Trap();

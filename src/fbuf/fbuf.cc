@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -34,6 +35,7 @@ Result<Fbuf*> FbufPool::Allocate(bool volatile_buf) {
   fbuf->refs_ = 1;
   fbuf->volatile_ = volatile_buf;
   ++allocations_;
+  TraceAdd(TraceCounter::kFbufAllocs);
   return fbuf;
 }
 
@@ -70,6 +72,8 @@ void FbufAggregate::Append(Fbuf* fbuf, size_t offset, size_t length) {
 
 void FbufAggregate::Splice(FbufAggregate* other) {
   // References move with the segments: no ref traffic, no data movement.
+  TraceAdd(TraceCounter::kFbufSpliceSegments, other->segments_.size());
+  TraceAdd(TraceCounter::kFbufBytesByReference, other->total_bytes_);
   for (const Segment& seg : other->segments_) {
     segments_.push_back(seg);
   }
@@ -117,6 +121,9 @@ Status FbufAggregate::CopyOut(size_t offset, void* dst,
   if (offset + length > total_bytes_) {
     return OutOfRangeError("CopyOut past end of aggregate");
   }
+  TraceAdd(TraceCounter::kFbufBytesCopied, length);
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, length);
   auto* out = static_cast<uint8_t*>(dst);
   size_t skip = offset;
   size_t want = length;
@@ -144,6 +151,9 @@ Status FbufAggregate::CopyIn(size_t offset, const void* src, size_t length) {
   if (offset + length > total_bytes_) {
     return OutOfRangeError("CopyIn past end of aggregate");
   }
+  TraceAdd(TraceCounter::kFbufBytesCopied, length);
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, length);
   const auto* in = static_cast<const uint8_t*>(src);
   size_t skip = offset;
   size_t want = length;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -18,6 +19,8 @@ Status FastPath::Call(Task* client, Port* port, ByteSpan request,
   }
   Endpoint& ep = it->second;
   ++calls_;
+  TraceAdd(TraceCounter::kIpcFastpathCalls);
+  TraceObserve(TraceHistogram::kIpcMessageBytes, request.size());
 
   // Trap + copy the request buffer directly into the server's space.
   kernel_->Trap();
@@ -25,6 +28,9 @@ Status FastPath::Call(Task* client, Port* port, ByteSpan request,
       request.size() > 0 ? request.size() : 1);
   std::memcpy(server_copy, request.data(), request.size());
   bytes_copied_ += request.size();
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, request.size());
+  TraceAdd(TraceCounter::kIpcBytesCopied, request.size());
 
   // Synchronous handoff into the server.
   std::vector<uint8_t> staging;
@@ -44,6 +50,9 @@ Status FastPath::Call(Task* client, Port* port, ByteSpan request,
       client->space().Allocate(staging.size() > 0 ? staging.size() : 1);
   std::memcpy(client_copy, staging.data(), staging.size());
   bytes_copied_ += staging.size();
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, staging.size());
+  TraceAdd(TraceCounter::kIpcBytesCopied, staging.size());
   *reply = client_copy;
   *reply_size = staging.size();
   return Status::Ok();

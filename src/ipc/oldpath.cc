@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -19,12 +20,15 @@ Status OldPath::Call(Task* client, Port* port, PortName reply_port_name,
   }
   Endpoint& ep = it->second;
   ++calls_;
+  TraceAdd(TraceCounter::kIpcOldpathCalls);
+  TraceObserve(TraceHistogram::kIpcMessageBytes, request.size());
 
   // Validate that the typed descriptors cover the body exactly — the
   // header-parsing work the streamlined path avoids.
   size_t described = 0;
   for (const TypedItem& item : items) {
     ++descriptors_processed_;
+    TraceAdd(TraceCounter::kIpcOldpathDescriptors);
     if (item.type_code == 0) {
       return InvalidArgumentError("typed item has no type code");
     }
@@ -50,6 +54,9 @@ Status OldPath::Call(Task* client, Port* port, PortName reply_port_name,
       request.size() > 0 ? request.size() : 1);
   std::memcpy(server_copy, kernel_buffer_.data(), kernel_buffer_.size());
   bytes_copied_ += request.size();
+  TraceAdd(TraceCounter::kDataCopies, 2);
+  TraceAdd(TraceCounter::kDataCopyBytes, 2 * request.size());
+  TraceAdd(TraceCounter::kIpcBytesCopied, 2 * request.size());
 
   std::vector<uint8_t> staging;
   ServerCall call;
@@ -73,6 +80,9 @@ Status OldPath::Call(Task* client, Port* port, PortName reply_port_name,
       client->space().Allocate(staging.size() > 0 ? staging.size() : 1);
   std::memcpy(client_copy, kernel_buffer_.data(), kernel_buffer_.size());
   bytes_copied_ += staging.size();
+  TraceAdd(TraceCounter::kDataCopies, 2);
+  TraceAdd(TraceCounter::kDataCopyBytes, 2 * staging.size());
+  TraceAdd(TraceCounter::kIpcBytesCopied, 2 * staging.size());
   *reply = client_copy;
   *reply_size = staging.size();
   return Status::Ok();

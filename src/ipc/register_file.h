@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "src/support/trace.h"
+
 namespace flexrpc {
 
 class RegisterFile {
@@ -30,17 +32,20 @@ class RegisterFile {
 
   // Spills the first `count` registers into `save_area` (count*8 bytes).
   void Save(size_t count, uint64_t* save_area) {
+    TraceAdd(TraceCounter::kRegistersSaved, count);
     std::memcpy(save_area, regs_, count * sizeof(uint64_t));
     Clobber();
   }
 
   void Restore(size_t count, const uint64_t* save_area) {
+    TraceAdd(TraceCounter::kRegistersRestored, count);
     std::memcpy(regs_, save_area, count * sizeof(uint64_t));
     Clobber();
   }
 
   // Zeroes the scratch window starting at `first`.
   void Clear(size_t first, size_t count) {
+    TraceAdd(TraceCounter::kRegistersCleared, count);
     std::memset(regs_ + first, 0, count * sizeof(uint64_t));
     Clobber();
   }

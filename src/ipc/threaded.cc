@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -73,6 +74,8 @@ std::vector<ThreadedOp> AssembleCombination(TrustLevel client_trust,
 
 Status BoundConnection::NullCall() {
   ++calls_;
+  TraceAdd(TraceCounter::kIpcThreadedCalls);
+  TraceAdd(TraceCounter::kIpcThreadedOps, program_.size());
   for (const ThreadedOp& op : program_) {
     switch (op.code) {
       case TOpCode::kTrap:
@@ -93,11 +96,15 @@ Status BoundConnection::NullCall() {
                     sizeof(space_context_) / 2);
         asm volatile("" : : "r"(space_context_) : "memory");
         break;
-      case TOpCode::kCopyMessage:
-        std::memcpy(server_msg_, client_msg_,
-                    op.arg <= sizeof(server_msg_) ? op.arg
-                                                  : sizeof(server_msg_));
+      case TOpCode::kCopyMessage: {
+        size_t n = op.arg <= sizeof(server_msg_) ? op.arg
+                                                 : sizeof(server_msg_);
+        TraceAdd(TraceCounter::kDataCopies);
+        TraceAdd(TraceCounter::kDataCopyBytes, n);
+        TraceAdd(TraceCounter::kIpcBytesCopied, n);
+        std::memcpy(server_msg_, client_msg_, n);
         break;
+      }
       case TOpCode::kTranslateReplyPortUnique:
         translated_reply_ =
             server_->names().InsertUnique(reply_port_, RightType::kSend);
@@ -160,9 +167,28 @@ Result<std::unique_ptr<BoundConnection>> SpecializedTransport::BindClient(
                            kernel_->ResolvePort(client, reply_name));
   conn->reply_port_ = reply_port;
   conn->regs_.FillPattern(0xABCD);
-  conn->program_ = AssembleCombination(client_trust, reg.trust,
-                                       nonunique_reply_port,
-                                       /*message_bytes=*/32);
+  // The combination signature is a pure function of the signature pair and
+  // the presentation attributes; cache the assembly so repeated bindings
+  // of the same shape skip it (the paper folds this into bind time).
+  uint64_t key = SignatureHash(signature);
+  key = key * 0x100000001B3ull ^ SignatureHash(reg.signature);
+  key = key * 0x100000001B3ull ^
+        (static_cast<uint64_t>(client_trust) << 3 |
+         static_cast<uint64_t>(reg.trust) << 1 |
+         static_cast<uint64_t>(nonunique_reply_port));
+  auto cached = combination_cache_.find(key);
+  if (cached != combination_cache_.end()) {
+    ++cache_hits_;
+    TraceAdd(TraceCounter::kSigCacheHits);
+    conn->program_ = cached->second;
+  } else {
+    ++cache_misses_;
+    TraceAdd(TraceCounter::kSigCacheMisses);
+    conn->program_ = AssembleCombination(client_trust, reg.trust,
+                                         nonunique_reply_port,
+                                         /*message_bytes=*/32);
+    combination_cache_.emplace(key, conn->program_);
+  }
   return conn;
 }
 

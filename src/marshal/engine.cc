@@ -7,6 +7,7 @@
 #include "src/marshal/value.h"
 #include "src/pdl/apply.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -15,6 +16,28 @@ namespace {
 bool IsByteElem(const Type* elem) {
   TypeKind k = elem->Resolve()->kind();
   return k == TypeKind::kOctet || k == TypeKind::kChar;
+}
+
+// Classifies one interpreter step for the per-opcode trace counters.
+// [special] presentations are their own bucket: they replace the copy
+// routine wholesale, so their cost profile differs from the plain kinds.
+TraceCounter MarshalOpCounter(const Type* resolved, bool use_special) {
+  if (use_special) {
+    return TraceCounter::kMarshalOpSpecial;
+  }
+  switch (resolved->kind()) {
+    case TypeKind::kString:
+      return TraceCounter::kMarshalOpString;
+    case TypeKind::kSequence:
+    case TypeKind::kArray:
+      return TraceCounter::kMarshalOpBytes;
+    case TypeKind::kStruct:
+      return TraceCounter::kMarshalOpStruct;
+    case TypeKind::kUnion:
+      return TraceCounter::kMarshalOpUnion;
+    default:
+      return TraceCounter::kMarshalOpScalar;
+  }
 }
 
 bool OwnsHeapStorage(const Type* type) {
@@ -277,6 +300,28 @@ Status MarshalProgram::MarshalTop(const ParamPresentation* pres,
   const Type* t = type->Resolve();
   bool use_special = pres != nullptr && pres->special &&
                      special != nullptr && special->copy_out != nullptr;
+  if (TraceEnabled()) {
+    TraceAdd(MarshalOpCounter(t, use_special));
+    // Payload accounting: variable-length kinds by their wire length,
+    // everything else by native size (recursive struct internals are
+    // attributed to the top-level op).
+    size_t bytes;
+    switch (t->kind()) {
+      case TypeKind::kVoid:
+        bytes = 0;
+        break;
+      case TypeKind::kString:
+        bytes = explicit_len;
+        break;
+      case TypeKind::kSequence:
+        bytes = explicit_len *
+                (IsByteElem(t->element()) ? 1 : t->element()->NativeSize());
+        break;
+      default:
+        bytes = t->NativeSize();
+    }
+    TraceAdd(TraceCounter::kMarshalBytesOut, bytes);
+  }
   switch (t->kind()) {
     case TypeKind::kVoid:
       return Status::Ok();
@@ -354,6 +399,7 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
   const Type* t = type->Resolve();
   bool use_special = pres != nullptr && pres->special &&
                      special != nullptr && special->copy_in != nullptr;
+  TraceAdd(MarshalOpCounter(t, use_special));
   // A slot that already carries a destination pointer is caller storage:
   // [alloc(user)] receive buffers and [special] user-space destinations both
   // arrive this way. Otherwise the stub allocates from the receiving arena.
@@ -369,6 +415,7 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
                       t->bound()));
       }
       FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
+      TraceAdd(TraceCounter::kMarshalBytesIn, len);
       char* dest;
       if (caller_buffer) {
         if (slot->capacity < len + 1) {
@@ -399,6 +446,8 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
                       t->bound()));
       }
       const Type* elem = t->element();
+      TraceAdd(TraceCounter::kMarshalBytesIn,
+               len * (IsByteElem(elem) ? 1 : elem->NativeSize()));
       if (IsByteElem(elem)) {
         FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
         if (borrow_bytes && !caller_buffer && !use_special) {
@@ -452,6 +501,7 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
     case TypeKind::kArray: {
       const Type* elem = t->element();
       size_t total = t->NativeSize();
+      TraceAdd(TraceCounter::kMarshalBytesIn, total);
       uint8_t* dest;
       if (caller_buffer || slot->ptr() != nullptr) {
         // Fixed-size data goes into provided storage when there is any.
@@ -479,6 +529,7 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
     }
     case TypeKind::kStruct:
     case TypeKind::kUnion: {
+      TraceAdd(TraceCounter::kMarshalBytesIn, t->NativeSize());
       void* dest;
       if (caller_buffer || slot->ptr() != nullptr) {
         dest = slot->ptr();
@@ -490,6 +541,7 @@ Status MarshalProgram::UnmarshalTop(const ParamPresentation* pres,
     }
     default: {
       FLEXRPC_ASSIGN_OR_RETURN(uint64_t bits, GetScalarWire(r, t));
+      TraceAdd(TraceCounter::kMarshalBytesIn, t->NativeSize());
       slot->scalar = bits;
       return Status::Ok();
     }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/support/trace.h"
+
 namespace flexrpc {
 
 LinkModel::LinkModel() : config_(Config{}) {}
@@ -25,7 +27,23 @@ double LinkModel::TransferSeconds(uint64_t payload_bytes) const {
 }
 
 void LinkModel::Transfer(uint64_t payload_bytes, VirtualClock* clock) const {
-  clock->AdvanceSeconds(TransferSeconds(payload_bytes));
+  double seconds = TransferSeconds(payload_bytes);
+  if (TraceEnabled()) {
+    uint64_t packets =
+        (payload_bytes + config_.mtu_bytes - 1) / config_.mtu_bytes;
+    if (packets == 0) {
+      packets = 1;
+    }
+    uint64_t wire_bytes =
+        payload_bytes + packets * config_.per_packet_overhead_bytes;
+    uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+    TraceAdd(TraceCounter::kNetTransfers);
+    TraceAdd(TraceCounter::kNetPackets, packets);
+    TraceAdd(TraceCounter::kNetBytesOnWire, wire_bytes);
+    TraceAdd(TraceCounter::kNetWireVirtualNanos, nanos);
+    TraceObserve(TraceHistogram::kNetTransferVirtualNanos, nanos);
+  }
+  clock->AdvanceSeconds(seconds);
 }
 
 }  // namespace flexrpc

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -13,6 +14,8 @@ Status CopyToUser(AddressSpace* user, void* user_ptr, const void* kernel_src,
         StrFormat("copyout target is not mapped in address space '%s'",
                   user->name().c_str()));
   }
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, size);
   std::memcpy(user_ptr, kernel_src, size);
   return Status::Ok();
 }
@@ -24,6 +27,8 @@ Status CopyFromUser(AddressSpace* user, void* kernel_dst,
         StrFormat("copyin source is not mapped in address space '%s'",
                   user->name().c_str()));
   }
+  TraceAdd(TraceCounter::kDataCopies);
+  TraceAdd(TraceCounter::kDataCopyBytes, size);
   std::memcpy(kernel_dst, user_ptr, size);
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -35,8 +36,10 @@ Result<PortName> Kernel::TransferRight(Task* from, PortName name, Task* to,
   FLEXRPC_ASSIGN_OR_RETURN(RightEntry * entry, from->names().Lookup(name));
   Port* port = entry->port;
   if (nonunique) {
+    TraceAdd(TraceCounter::kPortTransfersNonunique);
     return to->names().InsertNonUnique(port, RightType::kSend);
   }
+  TraceAdd(TraceCounter::kPortTransfersUnique);
   return to->names().InsertUnique(port, RightType::kSend);
 }
 
@@ -47,6 +50,7 @@ Result<Port*> Kernel::ResolvePort(Task* task, PortName name) {
 
 void Kernel::Trap() {
   ++trap_count_;
+  TraceAdd(TraceCounter::kKernelTraps);
   // Mode switch: spill a trap frame onto the kernel stack. This is the
   // fixed per-IPC cost that all presentations share.
   uint64_t frame[8];

@@ -1,6 +1,7 @@
 #include "src/osim/port.h"
 
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -31,10 +32,12 @@ FLEXRPC_NOINLINE PortName NameTable::InstallFresh(Port* port, RightType type,
 }
 
 PortName NameTable::InsertUnique(Port* port, RightType type) {
+  TraceAdd(TraceCounter::kNameTableInserts);
   PortName existing = ReverseLookup(port);
   if (existing != kInvalidPortName) {
     PortName bumped = BumpExisting(existing);
     if (bumped != kInvalidPortName) {
+      TraceAdd(TraceCounter::kNameTableReverseHits);
       return bumped;
     }
   }
@@ -42,10 +45,12 @@ PortName NameTable::InsertUnique(Port* port, RightType type) {
 }
 
 PortName NameTable::InsertNonUnique(Port* port, RightType type) {
+  TraceAdd(TraceCounter::kNameTableInserts);
   return InstallFresh(port, type, /*track_reverse=*/false);
 }
 
 Result<RightEntry*> NameTable::Lookup(PortName name) {
+  TraceAdd(TraceCounter::kNameTableLookups);
   auto it = names_.find(name);
   if (it == names_.end()) {
     return NotFoundError(StrFormat("no right named %llu in this task",
@@ -55,6 +60,7 @@ Result<RightEntry*> NameTable::Lookup(PortName name) {
 }
 
 Status NameTable::Release(PortName name) {
+  TraceAdd(TraceCounter::kNameTableReleases);
   auto it = names_.find(name);
   if (it == names_.end()) {
     return NotFoundError(StrFormat("no right named %llu in this task",

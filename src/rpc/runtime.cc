@@ -5,6 +5,7 @@
 #include "src/analysis/plan_verifier.h"
 #include "src/marshal/native.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -61,6 +62,8 @@ const MarshalProgram* ServerObject::ProgramFor(uint32_t opnum) const {
 }
 
 Status ServerObject::Dispatch(ServerCall* call) {
+  TraceAdd(TraceCounter::kRpcDispatches);
+  TraceSpan span(TraceHistogram::kRpcDispatchNanos);
   NativeReader reader(ByteSpan(call->request, call->request_size));
   FLEXRPC_ASSIGN_OR_RETURN(uint32_t opnum, reader.GetU32());
   auto it = ops_.find(opnum);
@@ -107,6 +110,7 @@ Status ServerObject::Dispatch(ServerCall* call) {
   if (!st.ok()) {
     return send_error(st);
   }
+  TraceAdd(TraceCounter::kRpcReplyBytes, reply.span().size());
   call->reply->assign(reply.span().begin(), reply.span().end());
   return Status::Ok();
 }
@@ -133,6 +137,7 @@ Result<std::unique_ptr<RpcConnection>> RpcConnection::Bind(
     return PermissionDeniedError(
         StrFormat("bind-time signature check failed: %s", why.c_str()));
   }
+  TraceAdd(TraceCounter::kRpcBinds);
   auto conn = std::unique_ptr<RpcConnection>(new RpcConnection());
   conn->transport_ = transport;
   conn->client_ = client;
@@ -163,12 +168,18 @@ Status RpcConnection::Call(std::string_view op_name, ArgVec* args) {
                                    std::string(op_name).c_str()));
   }
   ++calls_;
+  TraceAdd(TraceCounter::kRpcClientCalls);
   uint32_t opnum = it->second.first;
   const MarshalProgram& program = it->second.second;
 
   NativeWriter request;
   request.PutU32(opnum);
-  FLEXRPC_RETURN_IF_ERROR(program.MarshalRequest(*args, &request, &special_));
+  {
+    TraceSpan span(TraceHistogram::kRpcMarshalNanos);
+    FLEXRPC_RETURN_IF_ERROR(
+        program.MarshalRequest(*args, &request, &special_));
+  }
+  TraceAdd(TraceCounter::kRpcRequestBytes, request.span().size());
 
   void* reply_block = nullptr;
   size_t reply_size = 0;
@@ -185,6 +196,7 @@ Status RpcConnection::Call(std::string_view op_name, ArgVec* args) {
                     std::string(reinterpret_cast<const char*>(msg),
                                 msg_len));
     }
+    TraceSpan span(TraceHistogram::kRpcUnmarshalNanos);
     return program.UnmarshalReply(&reader, &client_->space().arena(), args,
                                   &special_);
   }();

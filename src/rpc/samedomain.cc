@@ -5,6 +5,7 @@
 #include "src/marshal/value.h"
 #include "src/pdl/apply.h"
 #include "src/support/strings.h"
+#include "src/support/trace.h"
 
 namespace flexrpc {
 
@@ -128,6 +129,7 @@ Result<SameDomainConnection> SameDomainConnection::Bind(
 }
 
 Status SameDomainConnection::Call(ArgVec* args) {
+  TraceAdd(TraceCounter::kSameDomainCalls);
   if (mode_ == PlanMode::kPerCall) {
     // The paper's "dumb" implementation: recompute invocation semantics on
     // every call.
@@ -170,6 +172,10 @@ Status SameDomainConnection::Execute(const std::vector<ParamPlan>& plan,
         }
         ++copies_;
         bytes_copied_ += bytes;
+        TraceAdd(TraceCounter::kSameDomainCopies);
+        TraceAdd(TraceCounter::kSameDomainCopyBytes, bytes);
+        TraceAdd(TraceCounter::kDataCopies);
+        TraceAdd(TraceCounter::kDataCopyBytes, bytes);
         ++stub_allocs_;
         stub_copies.push_back(copy);
         server_slot.set_ptr(copy);
@@ -221,6 +227,10 @@ Status SameDomainConnection::Execute(const std::vector<ParamPlan>& plan,
         std::memcpy(client_slot.ptr(), server_slot.ptr(), bytes);
         ++copies_;
         bytes_copied_ += bytes;
+        TraceAdd(TraceCounter::kSameDomainCopies);
+        TraceAdd(TraceCounter::kSameDomainCopyBytes, bytes);
+        TraceAdd(TraceCounter::kDataCopies);
+        TraceAdd(TraceCounter::kDataCopyBytes, bytes);
         client_slot.length = server_slot.length;
         // The server's donated buffer has been consumed.
         const ParamPresentation* sp =

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <new>
 
+#include "src/support/trace.h"
+
 namespace flexrpc {
 
 namespace {
@@ -55,6 +57,8 @@ void* Arena::Allocate(size_t size, size_t align) {
   size_t offset = AlignUp(base + chunk.used, align) - base;
   chunk.used = offset + size;
   bytes_allocated_ += size;
+  TraceAdd(TraceCounter::kArenaBumpAllocs);
+  TraceAdd(TraceCounter::kArenaBumpBytes, size);
   return chunk.data.get() + offset;
 }
 
@@ -70,6 +74,8 @@ size_t Arena::SizeClassFor(size_t size) {
 void* Arena::AllocateBlock(size_t size) {
   size_t cls = SizeClassFor(size);
   ++block_allocs_;
+  TraceAdd(TraceCounter::kArenaBlockAllocs);
+  TraceAdd(TraceCounter::kArenaBlockBytes, cls);
   auto it = free_lists_.find(cls);
   if (it != free_lists_.end() && !it->second.empty()) {
     void* ptr = it->second.back();
@@ -96,6 +102,7 @@ void Arena::FreeBlock(void* ptr) {
     std::abort();
   }
   ++block_frees_;
+  TraceAdd(TraceCounter::kArenaBlockFrees);
   free_lists_[header->size_class].push_back(ptr);
 }
 

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Runs every bench binary and collects the BENCH_<name>.json artifacts.
+#
+#   tools/bench.sh                    # full-fidelity run -> bench-results/
+#   tools/bench.sh --smoke            # deterministic scaled-down run
+#   tools/bench.sh --smoke --check    # + gate against bench/budgets/smoke.json
+#   OUT=dir BUILD=dir tools/bench.sh  # override output / build directories
+#
+# Full runs take minutes (they reproduce the paper figures at full
+# iteration counts); --smoke runs in seconds and is what CI gates on.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+OUT=${OUT:-bench-results}
+SMOKE=
+CHECK=
+
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=--smoke ;;
+    --check) CHECK=1 ;;
+    *)
+      echo "usage: tools/bench.sh [--smoke] [--check]" >&2
+      exit 1
+      ;;
+  esac
+done
+
+if [ -n "$CHECK" ] && [ -z "$SMOKE" ]; then
+  echo "bench.sh: --check requires --smoke (budgets pin smoke runs)" >&2
+  exit 1
+fi
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "bench.sh: $BUILD/bench not found — build first (cmake -B $BUILD -S . && cmake --build $BUILD)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+for bin in "$BUILD"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  echo "== $(basename "$bin") =="
+  "$bin" $SMOKE "--json_dir=$OUT"
+done
+
+echo "== artifacts =="
+ls -l "$OUT"/BENCH_*.json
+
+if [ -n "$CHECK" ]; then
+  echo "== budget gate =="
+  "$BUILD"/tools/flextrace/flextrace_check \
+    --budgets=bench/budgets/smoke.json "--dir=$OUT"
+fi

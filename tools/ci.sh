@@ -2,12 +2,16 @@
 # CI entry point: style check, plain build + tests, then an ASan+UBSan
 # build + tests. Also lints the example IDL/PDL with flexcheck.
 #
-#   tools/ci.sh            # everything
-#   SKIP_SAN=1 tools/ci.sh # plain build only (fast local loop)
+#   tools/ci.sh                          # everything
+#   SKIP_SAN=1 tools/ci.sh               # plain build only (fast local loop)
+#   FLEXRPC_SANITIZE=thread tools/ci.sh  # + a TSan build + tests (flextrace
+#                                        #   counters are relaxed atomics;
+#                                        #   this suite keeps them honest)
+#   JOBS=4 tools/ci.sh                   # cap build/test parallelism
 set -eu
 
 cd "$(dirname "$0")/.."
-JOBS=$(nproc 2>/dev/null || echo 2)
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 
 echo "== format check =="
 sh tools/format.sh --check
@@ -31,6 +35,11 @@ echo "== flexcheck on the examples =="
 if [ "${SKIP_SAN:-}" != 1 ]; then
   echo "== ASan+UBSan build + tests =="
   run_suite build-asan -DFLEXRPC_SANITIZE=address,undefined
+fi
+
+if [ "${FLEXRPC_SANITIZE:-}" = thread ]; then
+  echo "== TSan build + tests =="
+  run_suite build-tsan -DFLEXRPC_SANITIZE=thread
 fi
 
 echo "ci.sh: all green"

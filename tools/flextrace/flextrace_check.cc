@@ -1,0 +1,255 @@
+// flextrace_check — the CI budget gate over BENCH_<name>.json artifacts.
+//
+// The flextrace counters are deterministic for the fixed-iteration bench
+// workloads (the simulation performs the same operations every run), so
+// the budgets pin exact values: any drift in copies, allocations, traps,
+// or bytes-on-wire is a regression (or an intentional change that must
+// regenerate the budgets with --update).
+//
+//   flextrace_check --budgets=bench/budgets/smoke.json --dir=OUT
+//   flextrace_check --budgets=bench/budgets/smoke.json --dir=OUT --update
+//
+// Exit code 0 = all benches within budget; 1 = violation or usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+namespace {
+
+// The gated subset of the counter catalog: the work the paper's
+// evaluation argues about. Timing counters/histograms are deliberately
+// absent — they are host-dependent.
+constexpr const char* kGatedCounters[] = {
+    "kernel.traps",
+    "kernel.port_transfers.unique",
+    "kernel.port_transfers.nonunique",
+    "mem.copies",
+    "mem.copy_bytes",
+    "arena.bump_allocs",
+    "arena.block_allocs",
+    "fbuf.allocs",
+    "fbuf.bytes_by_reference",
+    "fbuf.bytes_copied",
+    "ipc.bytes_copied",
+    "ipc.sigcache.hits",
+    "ipc.sigcache.misses",
+    "rpc.client.calls",
+    "rpc.server.dispatches",
+    "marshal.bytes_marshaled",
+    "marshal.bytes_unmarshaled",
+    "net.packets",
+    "net.bytes_on_wire",
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Result<JsonValue> LoadJson(const std::string& path) {
+  FLEXRPC_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  auto parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    return InvalidArgumentError(StrFormat(
+        "%s: %s", path.c_str(), parsed.status().message().c_str()));
+  }
+  return parsed;
+}
+
+uint64_t CounterOf(const JsonValue& artifact, const char* name) {
+  const JsonValue* trace = artifact.Find("trace");
+  const JsonValue* counters =
+      trace != nullptr ? trace->Find("counters") : nullptr;
+  const JsonValue* v = counters != nullptr ? counters->Find(name) : nullptr;
+  if (v == nullptr || !v->IsNumber()) {
+    return 0;
+  }
+  return static_cast<uint64_t>(v->number);
+}
+
+struct Options {
+  std::string budgets_path;
+  std::string dir = ".";
+  bool update = false;
+};
+
+int Fail(const char* why) {
+  std::fprintf(stderr, "flextrace_check: %s\n", why);
+  return 1;
+}
+
+// Validates one artifact's shape and (unless updating) its counters
+// against the bench's budget entry. Appends human-readable violations.
+void CheckBench(const std::string& bench, const JsonValue& artifact,
+                bool want_smoke, const JsonValue* budget,
+                std::vector<std::string>* violations) {
+  const JsonValue* schema = artifact.Find("schema");
+  if (schema == nullptr || schema->string != "flexrpc-bench-v1") {
+    violations->push_back(bench + ": missing/unknown schema");
+    return;
+  }
+  const JsonValue* smoke = artifact.Find("smoke");
+  if (smoke == nullptr || smoke->kind != JsonValue::Kind::kBool) {
+    violations->push_back(bench + ": missing smoke flag");
+    return;
+  }
+  // Comparing a full run against smoke budgets (or vice versa) would
+  // "fail" on every counter for the wrong reason — refuse outright.
+  if (smoke->boolean != want_smoke) {
+    violations->push_back(StrFormat(
+        "%s: artifact is a %s run but budgets are for %s runs",
+        bench.c_str(), smoke->boolean ? "smoke" : "full",
+        want_smoke ? "smoke" : "full"));
+    return;
+  }
+  const JsonValue* results = artifact.Find("results");
+  if (results == nullptr || results->kind != JsonValue::Kind::kArray ||
+      results->array.empty()) {
+    violations->push_back(bench + ": empty results array");
+  }
+  if (budget == nullptr) {
+    return;
+  }
+  for (const auto& [name, want] : budget->object) {
+    uint64_t got = CounterOf(artifact, name.c_str());
+    uint64_t lo;
+    uint64_t hi;
+    if (want.IsNumber()) {
+      lo = hi = static_cast<uint64_t>(want.number);
+    } else if (want.kind == JsonValue::Kind::kArray &&
+               want.array.size() == 2 && want.array[0].IsNumber() &&
+               want.array[1].IsNumber()) {
+      lo = static_cast<uint64_t>(want.array[0].number);
+      hi = static_cast<uint64_t>(want.array[1].number);
+    } else {
+      violations->push_back(bench + ": malformed budget for " + name);
+      continue;
+    }
+    if (got < lo || got > hi) {
+      violations->push_back(StrFormat(
+          "%s: %s = %llu outside budget [%llu, %llu]", bench.c_str(),
+          name.c_str(), static_cast<unsigned long long>(got),
+          static_cast<unsigned long long>(lo),
+          static_cast<unsigned long long>(hi)));
+    }
+  }
+}
+
+int Run(const Options& opts) {
+  auto budgets = LoadJson(opts.budgets_path);
+  if (!budgets.ok()) {
+    return Fail(budgets.status().ToString().c_str());
+  }
+  const JsonValue* schema = budgets->Find("schema");
+  if (schema == nullptr ||
+      schema->string != "flexrpc-bench-budgets-v1") {
+    return Fail("budgets file has missing/unknown schema");
+  }
+  const JsonValue* mode = budgets->Find("mode");
+  if (mode == nullptr ||
+      (mode->string != "smoke" && mode->string != "full")) {
+    return Fail("budgets file mode must be \"smoke\" or \"full\"");
+  }
+  bool want_smoke = mode->string == "smoke";
+  const JsonValue* benches = budgets->Find("benches");
+  if (benches == nullptr || !benches->IsObject()) {
+    return Fail("budgets file has no benches object");
+  }
+
+  if (opts.update) {
+    // Regenerate: pin every gated counter to its observed value.
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("flexrpc-bench-budgets-v1");
+    w.Key("mode").String(mode->string);
+    w.Key("benches").BeginObject();
+    for (const auto& [bench, unused] : benches->object) {
+      (void)unused;
+      auto artifact =
+          LoadJson(opts.dir + "/BENCH_" + bench + ".json");
+      if (!artifact.ok()) {
+        return Fail(artifact.status().ToString().c_str());
+      }
+      w.Key(bench).BeginObject();
+      for (const char* name : kGatedCounters) {
+        w.Key(name).UInt(CounterOf(*artifact, name));
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    std::FILE* f = std::fopen(opts.budgets_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail("cannot write budgets file");
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("flextrace_check: rewrote %s (%zu benches)\n",
+                opts.budgets_path.c_str(), benches->object.size());
+    return 0;
+  }
+
+  std::vector<std::string> violations;
+  for (const auto& [bench, budget] : benches->object) {
+    auto artifact = LoadJson(opts.dir + "/BENCH_" + bench + ".json");
+    if (!artifact.ok()) {
+      violations.push_back(artifact.status().ToString());
+      continue;
+    }
+    CheckBench(bench, *artifact, want_smoke, &budget, &violations);
+  }
+  if (!violations.empty()) {
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "flextrace_check: FAIL %s\n", v.c_str());
+    }
+    std::fprintf(stderr,
+                 "flextrace_check: %zu violation(s). If the work change "
+                 "is intentional, regenerate with --update.\n",
+                 violations.size());
+    return 1;
+  }
+  std::printf("flextrace_check: %zu bench(es) within budget\n",
+              benches->object.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexrpc
+
+int main(int argc, char** argv) {
+  flexrpc::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--budgets=", 10) == 0) {
+      opts.budgets_path = arg + 10;
+    } else if (std::strncmp(arg, "--dir=", 6) == 0) {
+      opts.dir = arg + 6;
+    } else if (std::strcmp(arg, "--update") == 0) {
+      opts.update = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: flextrace_check --budgets=FILE [--dir=DIR] "
+                   "[--update]\n");
+      return 1;
+    }
+  }
+  if (opts.budgets_path.empty()) {
+    return flexrpc::Fail("--budgets= is required");
+  }
+  return flexrpc::Run(opts);
+}
