@@ -22,6 +22,7 @@
 #include "src/net/link.h"
 #include "src/osim/address_space.h"
 #include "src/pdl/apply.h"
+#include "src/rpc/retry.h"
 #include "src/support/timing.h"
 
 namespace flexrpc {
@@ -52,6 +53,11 @@ class NfsFileServer {
   size_t file_size() const { return content_.size(); }
   const uint8_t* content() const { return content_.data(); }
 
+  // Adapts Handle to the RetryingTransport's datagram interface. The
+  // returned handler counts nothing itself — wrap it when a test needs
+  // per-xid execution counts.
+  static DatagramHandler MakeHandler(NfsFileServer* server);
+
  private:
   std::vector<uint8_t> content_;
 };
@@ -74,11 +80,24 @@ class NfsClient {
     double client_seconds = 0;          // measured: marshaling + copies
     double network_server_seconds = 0;  // modeled: wire + remote server
     uint64_t rpc_calls = 0;
+    // Lossy-path accounting (zero over the perfect wire).
+    uint64_t retransmits = 0;
+    uint64_t dup_cache_hits = 0;
+    uint64_t server_executions = 0;
   };
 
   // Reads the whole file in kNfsMaxData chunks into a user-space buffer,
   // then verifies the bytes against the server's content.
   Result<ReadStats> ReadFile(StubKind kind);
+
+  // Same read, but every RPC travels as a SunRPC datagram through `rpc`'s
+  // lossy DatagramChannel with at-most-once retry semantics. The transport
+  // must be wired to this client's server (NfsFileServer::MakeHandler or a
+  // counting wrapper around it); its virtual clock replaces the
+  // network+server model of the perfect-wire path. Degrades to
+  // kUnavailable / kDeadlineExceeded / kDataLoss exactly as
+  // RetryingTransport::Call does — never a hang, never a double read.
+  Result<ReadStats> ReadFileLossy(StubKind kind, RetryingTransport* rpc);
 
   AddressSpace* user_space() { return user_space_.get(); }
   AddressSpace* kernel_space() { return kernel_space_.get(); }

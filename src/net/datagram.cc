@@ -1,0 +1,126 @@
+#include "src/net/datagram.h"
+
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+namespace {
+constexpr uint32_t kFrameMagic = 0x46444D31;  // "FDM1"
+constexpr size_t kHeaderSize = 16;            // magic, seq, length, checksum
+}  // namespace
+
+uint32_t DatagramChecksum(ByteSpan payload) {
+  uint32_t h = 2166136261u;
+  for (uint8_t b : payload) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+DatagramChannel::DatagramChannel(LinkModel link, FaultPlan plan_a_to_b,
+                                 FaultPlan plan_b_to_a, VirtualClock* clock)
+    : link_(link), clock_(clock) {
+  plans_[0] = std::move(plan_a_to_b);
+  plans_[1] = std::move(plan_b_to_a);
+}
+
+void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
+                               const FaultPlan::Decision& d) {
+  // The frame occupies the wire whether or not it arrives.
+  link_.Transfer(bytes.size(), clock_);
+  if (d.drop) {
+    ++stats_.dropped;
+    TraceAdd(TraceCounter::kNetFaultDrops);
+    return;
+  }
+  Frame frame;
+  frame.bytes = std::move(bytes);
+  frame.extra_delay_nanos = d.extra_delay_nanos;
+  if (d.extra_delay_nanos > 0) {
+    TraceAdd(TraceCounter::kNetFaultExtraDelayNanos, d.extra_delay_nanos);
+  }
+  if (d.corrupt) {
+    // Flip one byte in the length/checksum/payload region; the receiver's
+    // length or checksum validation detects it. (The magic and sequence
+    // words are skipped: they are not covered by the checksum, and an
+    // undetectably corrupted frame would break fault accounting.)
+    size_t pos = 8 + d.corrupt_salt % (frame.bytes.size() - 8);
+    frame.bytes[pos] ^= 0xFF;
+    ++stats_.corrupted;
+    TraceAdd(TraceCounter::kNetFaultCorrupts);
+  }
+  auto& queue = queues_[static_cast<size_t>(dir)];
+  if (d.reorder && !queue.empty()) {
+    queue.push_front(std::move(frame));  // overtakes everything in flight
+    ++stats_.reordered;
+    TraceAdd(TraceCounter::kNetFaultReorders);
+  } else {
+    queue.push_back(std::move(frame));
+  }
+}
+
+void DatagramChannel::Send(Dir dir, ByteSpan payload) {
+  ++stats_.sent;
+  TraceAdd(TraceCounter::kNetDatagramsSent);
+  ByteWriter w;
+  w.WriteU32Be(kFrameMagic);
+  w.WriteU32Be(next_seq_[static_cast<size_t>(dir)]++);
+  w.WriteU32Be(static_cast<uint32_t>(payload.size()));
+  w.WriteU32Be(DatagramChecksum(payload));
+  w.WriteSpan(payload);
+
+  FaultPlan::Decision d = plans_[static_cast<size_t>(dir)].Next();
+  std::vector<uint8_t> bytes(w.span().begin(), w.span().end());
+  if (d.duplicate) {
+    ++stats_.duplicated;
+    TraceAdd(TraceCounter::kNetFaultDups);
+    // The duplicate travels as its own physical frame with no further
+    // faults of its own (the plan decided this packet, not the copy).
+    Transmit(dir, bytes, FaultPlan::Decision{});
+  }
+  Transmit(dir, std::move(bytes), d);
+}
+
+bool DatagramChannel::HasPending(Dir dir) const {
+  return !queues_[static_cast<size_t>(dir)].empty();
+}
+
+Result<std::vector<uint8_t>> DatagramChannel::Receive(Dir dir) {
+  auto& queue = queues_[static_cast<size_t>(dir)];
+  if (queue.empty()) {
+    return FailedPreconditionError("no datagram pending");
+  }
+  Frame frame = std::move(queue.front());
+  queue.pop_front();
+  if (frame.extra_delay_nanos > 0) {
+    clock_->AdvanceNanos(frame.extra_delay_nanos);
+  }
+  auto fail = [&](const char* why) -> Result<std::vector<uint8_t>> {
+    ++stats_.checksum_failures;
+    TraceAdd(TraceCounter::kNetChecksumFailures);
+    return DataLossError(why);
+  };
+  ByteReader r(ByteSpan(frame.bytes.data(), frame.bytes.size()));
+  auto magic = r.ReadU32Be();
+  if (!magic.ok() || *magic != kFrameMagic) {
+    return fail("datagram frame has bad magic");
+  }
+  auto seq = r.ReadU32Be();
+  auto length = r.ReadU32Be();
+  auto checksum = r.ReadU32Be();
+  (void)seq;
+  if (!length.ok() || !checksum.ok() ||
+      frame.bytes.size() != kHeaderSize + *length) {
+    return fail("datagram frame has bad length");
+  }
+  ByteSpan payload(frame.bytes.data() + kHeaderSize, *length);
+  if (DatagramChecksum(payload) != *checksum) {
+    return fail("datagram checksum mismatch");
+  }
+  ++stats_.delivered;
+  TraceAdd(TraceCounter::kNetDatagramsDelivered);
+  return std::vector<uint8_t>(payload.begin(), payload.end());
+}
+
+}  // namespace flexrpc

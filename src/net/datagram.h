@@ -1,0 +1,92 @@
+// DatagramChannel — framed, checksummed datagrams over a faulty LinkModel.
+//
+// The channel moves whole datagrams between two endpoints (A = client,
+// B = server) through per-direction FIFO queues. Each send is framed with a
+// magic word, a per-direction sequence number, the payload length, and an
+// FNV-1a checksum over the payload; the FaultPlan for that direction then
+// decides whether the frame is dropped, duplicated, reordered ahead of the
+// queue, corrupted (one byte flipped — the checksum catches it at the
+// receiver, exactly like a UDP checksum discard), or held back by an extra
+// delivery delay. Wire occupancy is charged to the VirtualClock at send
+// time for every physical transmission (dropped and duplicated frames
+// occupied the wire too); extra delay is charged at delivery.
+//
+// The channel is a single-threaded simulation artifact: Send/Receive run on
+// the caller's thread and "time" is the shared virtual clock, which is what
+// keeps every fault sequence and timestamp reproducible from the seeds.
+
+#ifndef FLEXRPC_SRC_NET_DATAGRAM_H_
+#define FLEXRPC_SRC_NET_DATAGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/net/fault.h"
+#include "src/net/link.h"
+#include "src/support/bytes.h"
+#include "src/support/status.h"
+#include "src/support/timing.h"
+
+namespace flexrpc {
+
+// FNV-1a over a byte span; the frame checksum.
+uint32_t DatagramChecksum(ByteSpan payload);
+
+class DatagramChannel {
+ public:
+  enum class Dir {
+    kAtoB = 0,  // client -> server
+    kBtoA = 1,  // server -> client
+  };
+
+  struct Stats {
+    uint64_t sent = 0;        // frames handed to Send (pre-fault)
+    uint64_t delivered = 0;   // frames returned intact by Receive
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    uint64_t corrupted = 0;   // corrupted in flight (by the plan)
+    uint64_t checksum_failures = 0;  // corruption detected at the receiver
+  };
+
+  DatagramChannel(LinkModel link, FaultPlan plan_a_to_b,
+                  FaultPlan plan_b_to_a, VirtualClock* clock);
+
+  // Frames `payload` and transmits it in direction `dir`, applying that
+  // direction's fault plan. Charges wire time for every physical frame.
+  void Send(Dir dir, ByteSpan payload);
+
+  // True when a frame is waiting to be received in direction `dir`.
+  bool HasPending(Dir dir) const;
+
+  // Delivers the next frame's payload. Returns kDataLoss when the frame
+  // fails validation (bad magic/length/checksum) — the frame is consumed,
+  // as a real UDP stack silently discards it. kFailedPrecondition when the
+  // queue is empty (callers should check HasPending first).
+  Result<std::vector<uint8_t>> Receive(Dir dir);
+
+  const Stats& stats() const { return stats_; }
+  VirtualClock* clock() { return clock_; }
+  const LinkModel& link() const { return link_; }
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> bytes;       // header + payload, post-corruption
+    uint64_t extra_delay_nanos = 0;   // charged at delivery
+  };
+
+  void Transmit(Dir dir, std::vector<uint8_t> bytes,
+                const FaultPlan::Decision& d);
+
+  LinkModel link_;
+  FaultPlan plans_[2];
+  VirtualClock* clock_;
+  std::deque<Frame> queues_[2];
+  uint32_t next_seq_[2] = {0, 0};
+  Stats stats_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_NET_DATAGRAM_H_

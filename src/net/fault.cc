@@ -1,0 +1,49 @@
+#include "src/net/fault.h"
+
+namespace flexrpc {
+
+FaultPlan::FaultPlan(const FaultConfig& config)
+    : config_(config), rng_(config.seed), probabilistic_(true) {}
+
+void FaultPlan::DropExactly(uint64_t first, uint64_t last) {
+  drop_ranges_.emplace_back(first, last);
+}
+
+FaultPlan::Decision FaultPlan::Next() {
+  uint64_t index = next_index_++;
+  Decision d;
+  if (probabilistic_) {
+    // Fixed draw schedule: five uniforms and one salt per packet, consumed
+    // whether or not each fault fires, so decision #n is a pure function
+    // of (seed, n).
+    double u_drop = rng_.NextDouble();
+    double u_dup = rng_.NextDouble();
+    double u_reorder = rng_.NextDouble();
+    double u_corrupt = rng_.NextDouble();
+    double u_delay = rng_.NextDouble();
+    uint64_t salt = rng_.NextU64();
+    d.drop = u_drop < config_.drop_prob;
+    d.duplicate = u_dup < config_.dup_prob;
+    d.reorder = u_reorder < config_.reorder_prob;
+    d.corrupt = u_corrupt < config_.corrupt_prob;
+    if (u_delay < config_.extra_delay_prob &&
+        config_.extra_delay_max_nanos > 0) {
+      d.extra_delay_nanos = 1 + salt % config_.extra_delay_max_nanos;
+    }
+    d.corrupt_salt = salt;
+  }
+  for (const auto& [first, last] : drop_ranges_) {
+    if (index >= first && index <= last) {
+      d.drop = true;
+    }
+  }
+  if (d.drop) {
+    d.duplicate = false;
+    d.reorder = false;
+    d.corrupt = false;
+    d.extra_delay_nanos = 0;
+  }
+  return d;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,72 @@
+// FaultPlan — a deterministic, seeded model of an imperfect wire.
+//
+// The LinkModel charges virtual time but can never lose a packet; every
+// figure in the paper runs over that perfect wire. FaultPlan is the other
+// half of a real network: per-packet drop / duplicate / reorder / corrupt /
+// extra-delay decisions drawn from a SplitMix64 stream (support/rng.h), plus
+// scripted "drop exactly packets #k..#m" schedules for tests that need one
+// precisely-placed fault (e.g. "the first reply is lost").
+//
+// Determinism contract: decision #n depends only on (seed, n). Every call to
+// Next() consumes the same number of RNG draws regardless of which faults
+// fire, so two runs of the same seed see identical fault sequences — which
+// is what makes lossy benchmark counters exactly gateable in CI.
+
+#ifndef FLEXRPC_SRC_NET_FAULT_H_
+#define FLEXRPC_SRC_NET_FAULT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace flexrpc {
+
+struct FaultConfig {
+  double drop_prob = 0;         // packet vanishes on the wire
+  double dup_prob = 0;          // packet arrives twice
+  double reorder_prob = 0;      // packet overtakes the queue ahead of it
+  double corrupt_prob = 0;      // one byte is flipped in flight
+  double extra_delay_prob = 0;  // packet is held back before delivery
+  uint64_t extra_delay_max_nanos = 2'000'000;  // uniform in [1, max]
+  uint64_t seed = 1;
+};
+
+class FaultPlan {
+ public:
+  // A perfect wire: no faults, no RNG consumption.
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config);
+
+  // Scripted schedule: unconditionally drop packets with 0-based index in
+  // [first, last] (inclusive), on top of the probabilistic faults.
+  void DropExactly(uint64_t first, uint64_t last);
+
+  // What the wire does to one packet.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool corrupt = false;
+    uint64_t extra_delay_nanos = 0;
+    uint64_t corrupt_salt = 0;  // picks the flipped byte position
+  };
+
+  // Consumes the decision for the next packet. Drop wins over the other
+  // faults (a dropped packet cannot also arrive twice).
+  Decision Next();
+
+  uint64_t packets_decided() const { return next_index_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_{1};
+  bool probabilistic_ = false;
+  uint64_t next_index_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> drop_ranges_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_NET_FAULT_H_

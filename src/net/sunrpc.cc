@@ -72,8 +72,11 @@ void EncodeSunRpcReplySuccess(XdrWriter* w, uint32_t xid) {
 Status DecodeSunRpcReplySuccess(XdrReader* r, uint32_t expected_xid) {
   FLEXRPC_ASSIGN_OR_RETURN(uint32_t xid, r->GetU32());
   if (xid != expected_xid) {
-    return DataLossError(StrFormat("xid mismatch: got %u, expected %u", xid,
-                                   expected_xid));
+    // A stale xid is not damage — it is a late duplicate of an earlier
+    // call's reply. kUnavailable tells the retransmit loop to discard it
+    // and keep waiting instead of aborting the call.
+    return UnavailableError(StrFormat(
+        "stale xid: got %u, expected %u", xid, expected_xid));
   }
   FLEXRPC_ASSIGN_OR_RETURN(uint32_t msg_type, r->GetU32());
   if (msg_type != kMsgReply) {

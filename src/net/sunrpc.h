@@ -29,7 +29,14 @@ Result<SunRpcCall> DecodeSunRpcCall(XdrReader* r);
 void EncodeSunRpcReplySuccess(XdrWriter* w, uint32_t xid);
 
 // Parses a REPLY header; fails unless it is MSG_ACCEPTED/SUCCESS with the
-// expected xid.
+// expected xid. The failure code distinguishes the two ways this can go
+// wrong, because a retransmitting client must react differently:
+//   kUnavailable  the reply carries a *different* xid — a harmless late
+//                 duplicate of an earlier call. Retryable: discard the
+//                 datagram and keep waiting for the right reply.
+//   kDataLoss     the reply is structurally malformed (truncated, not a
+//                 REPLY, denied, or a non-SUCCESS accept status). Not
+//                 retryable: the conversation itself is broken.
 Status DecodeSunRpcReplySuccess(XdrReader* r, uint32_t expected_xid);
 
 }  // namespace flexrpc

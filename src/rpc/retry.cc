@@ -1,0 +1,155 @@
+#include "src/rpc/retry.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+const std::vector<uint8_t>* ReplyCache::Find(uint32_t xid) const {
+  auto it = entries_.find(xid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ReplyCache::Insert(uint32_t xid, std::vector<uint8_t> reply) {
+  if (entries_.count(xid) != 0) {
+    entries_[xid] = std::move(reply);
+    return;
+  }
+  if (entries_.size() >= capacity_ && !order_.empty()) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  entries_.emplace(xid, std::move(reply));
+  order_.push_back(xid);
+}
+
+Result<uint32_t> PeekXid(ByteSpan datagram) {
+  if (datagram.size() < 4) {
+    return DataLossError("datagram too short to carry an xid");
+  }
+  return (static_cast<uint32_t>(datagram[0]) << 24) |
+         (static_cast<uint32_t>(datagram[1]) << 16) |
+         (static_cast<uint32_t>(datagram[2]) << 8) |
+         static_cast<uint32_t>(datagram[3]);
+}
+
+RetryingTransport::RetryingTransport(DatagramChannel* channel,
+                                     DatagramHandler handler,
+                                     RemoteServerModel server_model,
+                                     RetryPolicy policy)
+    : channel_(channel), handler_(std::move(handler)),
+      server_model_(server_model), policy_(policy),
+      jitter_(policy.jitter_seed) {}
+
+void RetryingTransport::PumpServer() {
+  while (channel_->HasPending(DatagramChannel::Dir::kAtoB)) {
+    auto request = channel_->Receive(DatagramChannel::Dir::kAtoB);
+    if (!request.ok()) {
+      continue;  // checksum discard — the retransmit loop covers it
+    }
+    auto xid = PeekXid(ByteSpan(request->data(), request->size()));
+    if (!xid.ok()) {
+      continue;  // unparseable datagram: nothing to reply to
+    }
+    if (const std::vector<uint8_t>* cached = reply_cache_.Find(*xid)) {
+      // Duplicate request: resend the cached reply, do NOT re-execute.
+      ++stats_.dup_cache_hits;
+      TraceAdd(TraceCounter::kRpcDupCacheHits);
+      channel_->Send(DatagramChannel::Dir::kBtoA,
+                     ByteSpan(cached->data(), cached->size()));
+      continue;
+    }
+    std::vector<uint8_t> reply;
+    Status st =
+        handler_(ByteSpan(request->data(), request->size()), &reply);
+    if (!st.ok()) {
+      continue;  // malformed request body: drop, as a real server would
+    }
+    ++stats_.dup_cache_misses;
+    TraceAdd(TraceCounter::kRpcDupCacheMisses);
+    // Charge the remote CPU for the one real execution.
+    server_model_.Process(reply.size(), channel_->clock());
+    reply_cache_.Insert(*xid, reply);
+    channel_->Send(DatagramChannel::Dir::kBtoA,
+                   ByteSpan(reply.data(), reply.size()));
+  }
+}
+
+Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
+                               std::vector<uint8_t>* reply) {
+  ++stats_.calls;
+  VirtualClock* clock = channel_->clock();
+  const uint64_t deadline = clock->now_nanos() + policy_.deadline_nanos;
+  uint64_t rto = policy_.initial_rto_nanos;
+
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retransmits;
+      TraceAdd(TraceCounter::kRpcRetransmits);
+    }
+    channel_->Send(DatagramChannel::Dir::kAtoB, request);
+    PumpServer();
+
+    // Drain everything the wire delivered before the RTO would fire.
+    while (channel_->HasPending(DatagramChannel::Dir::kBtoA)) {
+      auto datagram = channel_->Receive(DatagramChannel::Dir::kBtoA);
+      if (!datagram.ok()) {
+        ++stats_.corrupt_replies;
+        TraceAdd(TraceCounter::kRpcCorruptReplies);
+        if (!policy_.retry_on_corrupt) {
+          return DataLossError(StrFormat(
+              "reply for xid %u failed its checksum", xid));
+        }
+        continue;  // treat as a drop; the retransmit loop covers it
+      }
+      auto reply_xid = PeekXid(ByteSpan(datagram->data(), datagram->size()));
+      if (!reply_xid.ok()) {
+        return reply_xid.status();  // structurally malformed reply
+      }
+      if (*reply_xid != xid) {
+        // A late duplicate of an earlier call: discard, keep waiting.
+        ++stats_.stale_replies;
+        TraceAdd(TraceCounter::kRpcStaleReplies);
+        continue;
+      }
+      *reply = std::move(*datagram);
+      return Status::Ok();
+    }
+
+    // Nothing matched. Give up, or back off and retransmit.
+    if (attempt >= policy_.max_attempts) {
+      ++stats_.unavailable_failures;
+      TraceAdd(TraceCounter::kRpcUnavailableFailures);
+      return UnavailableError(StrFormat(
+          "no reply for xid %u after %u attempts", xid, attempt));
+    }
+    uint64_t now = clock->now_nanos();
+    if (now >= deadline) {
+      ++stats_.deadline_expiries;
+      TraceAdd(TraceCounter::kRpcDeadlineExpiries);
+      return DeadlineExceededError(StrFormat(
+          "deadline passed after %u attempts for xid %u", attempt, xid));
+    }
+    // Full backoff plus up to 25% deterministic jitter, clipped so the
+    // wait never overshoots the deadline.
+    uint64_t wait = rto + jitter_.NextBelow(rto / 4 + 1);
+    bool expires = now + wait >= deadline;
+    if (expires) {
+      wait = deadline - now;
+    }
+    clock->AdvanceNanos(wait);
+    stats_.backoff_nanos += wait;
+    TraceAdd(TraceCounter::kRpcBackoffNanos, wait);
+    if (expires) {
+      ++stats_.deadline_expiries;
+      TraceAdd(TraceCounter::kRpcDeadlineExpiries);
+      return DeadlineExceededError(StrFormat(
+          "deadline passed while backing off for xid %u", xid));
+    }
+    rto = std::min(rto * 2, policy_.max_rto_nanos);
+  }
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,129 @@
+// RetryingTransport — at-most-once datagram RPC over a lossy channel.
+//
+// The specializable transports in this library assume the wire delivers;
+// this layer is what sits underneath the call path when it does not. It
+// implements the classic SunRPC/NFS-style at-most-once state machine:
+//
+//   client: transmit request (xid first) -> wait RTO on the virtual clock
+//           -> retransmit with exponential backoff + deterministic jitter
+//           -> give up with kUnavailable when the attempt budget is spent,
+//              or kDeadlineExceeded when the per-call deadline passes.
+//   server: every valid request datagram is looked up in an xid-keyed
+//           reply cache. Miss -> execute the work function once, cache and
+//           send the reply. Hit -> resend the cached reply without
+//           re-executing (duplicate suppression: the work function runs at
+//           most once per xid, even when requests arrive twice).
+//
+// Degradation is always a Status, never a hang or a double execution:
+//   kUnavailable       retry budget exhausted (nothing came back)
+//   kDeadlineExceeded  virtual deadline passed while waiting
+//   kDataLoss          structurally malformed reply, or — when
+//                      retry_on_corrupt is off — a checksum failure
+// Stale replies (late duplicates carrying an old xid) are discarded and
+// the wait continues; checksum failures are treated as drops by default.
+//
+// All waiting happens on the channel's VirtualClock, so a "two second"
+// deadline costs no host time and every timestamp is reproducible.
+
+#ifndef FLEXRPC_SRC_RPC_RETRY_H_
+#define FLEXRPC_SRC_RPC_RETRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/datagram.h"
+#include "src/net/link.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+struct RetryPolicy {
+  uint32_t max_attempts = 8;                  // transmissions incl. first
+  uint64_t initial_rto_nanos = 20'000'000;    // 20 ms
+  uint64_t max_rto_nanos = 400'000'000;       // 400 ms backoff ceiling
+  uint64_t deadline_nanos = 4'000'000'000;    // 4 s per call, virtual
+  uint64_t jitter_seed = 42;                  // deterministic jitter stream
+  bool retry_on_corrupt = true;  // false: surface checksum loss as kDataLoss
+};
+
+// Bounded server-side xid reply cache (the at-most-once memory). FIFO
+// eviction: old xids age out once `capacity` newer calls completed, which
+// mirrors the fixed-size duplicate caches in real NFS servers.
+class ReplyCache {
+ public:
+  explicit ReplyCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  // nullptr on miss; the cached reply datagram on hit.
+  const std::vector<uint8_t>* Find(uint32_t xid) const;
+  void Insert(uint32_t xid, std::vector<uint8_t> reply);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint32_t, std::vector<uint8_t>> entries_;
+  std::deque<uint32_t> order_;
+};
+
+// The server side of one endpoint: consumes request datagrams, produces
+// reply datagrams. Returning a non-OK status means the request was
+// malformed; the transport drops it (a real server cannot reply to a
+// datagram it cannot parse).
+using DatagramHandler =
+    std::function<Status(ByteSpan request, std::vector<uint8_t>* reply)>;
+
+class RetryingTransport {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t retransmits = 0;
+    uint64_t backoff_nanos = 0;
+    uint64_t stale_replies = 0;
+    uint64_t corrupt_replies = 0;
+    uint64_t dup_cache_hits = 0;
+    uint64_t dup_cache_misses = 0;   // == server work executions
+    uint64_t deadline_expiries = 0;
+    uint64_t unavailable_failures = 0;
+  };
+
+  // `channel` and everything reachable from `handler` must outlive the
+  // transport. `server_model` charges the remote CPU per executed call.
+  RetryingTransport(DatagramChannel* channel, DatagramHandler handler,
+                    RemoteServerModel server_model, RetryPolicy policy);
+
+  // One at-most-once call. `xid` must be the first (big-endian) word of
+  // `request` — the SunRPC layout — and unique per logical call; reply
+  // matching and duplicate suppression key on it. On OK, `*reply` holds
+  // the matched reply datagram (xid still in front).
+  Status Call(uint32_t xid, ByteSpan request, std::vector<uint8_t>* reply);
+
+  const Stats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+  VirtualClock* clock() { return channel_->clock(); }
+
+ private:
+  // Drains the server-side queue: validates, deduplicates, executes,
+  // replies. Runs on the caller's thread (single-threaded simulation).
+  void PumpServer();
+
+  DatagramChannel* channel_;
+  DatagramHandler handler_;
+  RemoteServerModel server_model_;
+  RetryPolicy policy_;
+  Rng jitter_;
+  ReplyCache reply_cache_;
+  Stats stats_;
+};
+
+// Reads the leading big-endian word of a datagram — the xid slot shared by
+// SunRPC calls and replies. kDataLoss when the datagram is too short.
+Result<uint32_t> PeekXid(ByteSpan datagram);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_RPC_RETRY_H_

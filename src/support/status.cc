@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -69,6 +73,12 @@ Status PermissionDeniedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace flexrpc

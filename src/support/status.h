@@ -30,6 +30,8 @@ enum class StatusCode {
   kDataLoss,           // malformed or truncated wire data
   kPermissionDenied,   // trust/contract violation
   kInternal,           // invariant violation ("should never happen")
+  kDeadlineExceeded,   // the call's deadline passed before completion
+  kUnavailable,        // transient transport failure; safe to retry later
 };
 
 // Returns the canonical spelling of a code, e.g. "INVALID_ARGUMENT".
@@ -73,6 +75,8 @@ Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 // A value of type T or a non-OK Status. Accessing the value when the result
 // holds an error is a programming bug and asserts.

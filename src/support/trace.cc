@@ -63,6 +63,14 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "rpc.samedomain.calls",
     "rpc.samedomain.copies",
     "rpc.samedomain.copy_bytes",
+    "rpc.retry.retransmits",
+    "rpc.retry.backoff_nanos",
+    "rpc.retry.deadline_expiries",
+    "rpc.retry.unavailable",
+    "rpc.retry.stale_replies",
+    "rpc.retry.corrupt_replies",
+    "rpc.dupcache.hits",
+    "rpc.dupcache.misses",
     "marshal.ops.scalar",
     "marshal.ops.bytes",
     "marshal.ops.string",
@@ -80,6 +88,14 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "net.packets",
     "net.bytes_on_wire",
     "net.wire_virtual_nanos",
+    "net.datagrams_sent",
+    "net.datagrams_delivered",
+    "net.fault.drops",
+    "net.fault.dups",
+    "net.fault.reorders",
+    "net.fault.corrupts",
+    "net.fault.extra_delay_nanos",
+    "net.checksum_failures",
 };
 
 constexpr std::string_view kHistogramNames[kTraceHistogramCount] = {

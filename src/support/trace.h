@@ -87,6 +87,14 @@ enum class TraceCounter : uint16_t {
   kSameDomainCalls,          // rpc.samedomain.calls
   kSameDomainCopies,         // rpc.samedomain.copies
   kSameDomainCopyBytes,      // rpc.samedomain.copy_bytes
+  kRpcRetransmits,           // rpc.retry.retransmits
+  kRpcBackoffNanos,          // rpc.retry.backoff_nanos (virtual clock)
+  kRpcDeadlineExpiries,      // rpc.retry.deadline_expiries
+  kRpcUnavailableFailures,   // rpc.retry.unavailable (budget exhausted)
+  kRpcStaleReplies,          // rpc.retry.stale_replies (late duplicates)
+  kRpcCorruptReplies,        // rpc.retry.corrupt_replies
+  kRpcDupCacheHits,          // rpc.dupcache.hits (at-most-once suppressions)
+  kRpcDupCacheMisses,        // rpc.dupcache.misses (work executions)
 
   // marshal: interpreter opcode mix.
   kMarshalOpScalar,          // marshal.ops.scalar
@@ -110,6 +118,14 @@ enum class TraceCounter : uint16_t {
   kNetPackets,               // net.packets
   kNetBytesOnWire,           // net.bytes_on_wire
   kNetWireVirtualNanos,      // net.wire_virtual_nanos
+  kNetDatagramsSent,         // net.datagrams_sent (framed sends attempted)
+  kNetDatagramsDelivered,    // net.datagrams_delivered (valid receives)
+  kNetFaultDrops,            // net.fault.drops
+  kNetFaultDups,             // net.fault.dups
+  kNetFaultReorders,         // net.fault.reorders
+  kNetFaultCorrupts,         // net.fault.corrupts
+  kNetFaultExtraDelayNanos,  // net.fault.extra_delay_nanos (virtual clock)
+  kNetChecksumFailures,      // net.checksum_failures (corruption detected)
 
   kCount,
 };

@@ -46,11 +46,39 @@ TEST(SunRpcHeaderTest, ReplyRoundTrip) {
   EXPECT_FALSE(DecodeSunRpcReplySuccess(&r2, 778).ok());  // xid mismatch
 }
 
+TEST(SunRpcHeaderTest, StaleXidIsRetryable) {
+  // A well-formed reply carrying a different xid is a late duplicate of an
+  // earlier call, not wire damage: the decoder must report it with the
+  // retryable kUnavailable so the transport discards it and keeps waiting.
+  XdrWriter w;
+  EncodeSunRpcReplySuccess(&w, 777);
+  XdrReader r(w.span());
+  Status st = DecodeSunRpcReplySuccess(&r, 778);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST(SunRpcHeaderTest, MalformedReplyIsDataLoss) {
+  // Truncated mid-header: the conversation is broken, not retryable.
+  XdrWriter w;
+  EncodeSunRpcReplySuccess(&w, 5);
+  XdrReader truncated(ByteSpan(w.span().data(), 8));
+  EXPECT_EQ(DecodeSunRpcReplySuccess(&truncated, 5).code(),
+            StatusCode::kDataLoss);
+  // Non-SUCCESS accept status is likewise terminal.
+  XdrWriter denied;
+  denied.PutU32(6);  // xid
+  denied.PutU32(1);  // REPLY
+  denied.PutU32(1);  // MSG_DENIED
+  XdrReader r(denied.span());
+  EXPECT_EQ(DecodeSunRpcReplySuccess(&r, 6).code(), StatusCode::kDataLoss);
+}
+
 TEST(SunRpcHeaderTest, ReplyToCallMismatchRejected) {
   XdrWriter w;
   EncodeSunRpcCall(&w, SunRpcCall{1, 2, 3, 4});
   XdrReader r(w.span());
-  EXPECT_FALSE(DecodeSunRpcReplySuccess(&r, 1).ok());
+  // xid matches but msg_type says CALL — structurally wrong, kDataLoss.
+  EXPECT_EQ(DecodeSunRpcReplySuccess(&r, 1).code(), StatusCode::kDataLoss);
 }
 
 TEST(NfsFileServerTest, ServesCorrectBytes) {

@@ -1,0 +1,372 @@
+// Unit tests for the lossy-wire substrate (src/net/fault.h,
+// src/net/datagram.h) and the at-most-once retrying transport
+// (src/rpc/retry.h): deterministic fault decisions, checksum framing,
+// xid-keyed retransmission, duplicate suppression, and graceful
+// degradation (kUnavailable / kDeadlineExceeded / kDataLoss — never a
+// hang, never a double execution).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "src/net/datagram.h"
+#include "src/net/fault.h"
+#include "src/rpc/retry.h"
+#include "src/support/trace.h"
+
+namespace flexrpc {
+namespace {
+
+FaultConfig MixedFaults(uint64_t seed) {
+  FaultConfig config;
+  config.drop_prob = 0.2;
+  config.dup_prob = 0.1;
+  config.reorder_prob = 0.1;
+  config.corrupt_prob = 0.1;
+  config.extra_delay_prob = 0.2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultPlanTest, SameSeedSameDecisions) {
+  FaultPlan a(MixedFaults(7));
+  FaultPlan b(MixedFaults(7));
+  for (int i = 0; i < 500; ++i) {
+    FaultPlan::Decision da = a.Next();
+    FaultPlan::Decision db = b.Next();
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.reorder, db.reorder);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(da.extra_delay_nanos, db.extra_delay_nanos);
+    EXPECT_EQ(da.corrupt_salt, db.corrupt_salt);
+  }
+  EXPECT_EQ(a.packets_decided(), 500u);
+}
+
+TEST(FaultPlanTest, PerfectWireByDefault) {
+  FaultPlan plan;
+  for (int i = 0; i < 100; ++i) {
+    FaultPlan::Decision d = plan.Next();
+    EXPECT_FALSE(d.drop || d.duplicate || d.reorder || d.corrupt);
+    EXPECT_EQ(d.extra_delay_nanos, 0u);
+  }
+}
+
+TEST(FaultPlanTest, ScriptedDropRange) {
+  FaultPlan plan;  // no probabilistic faults
+  plan.DropExactly(2, 4);
+  bool expected[] = {false, false, true, true, true, false, false};
+  for (bool want : expected) {
+    EXPECT_EQ(plan.Next().drop, want);
+  }
+}
+
+TEST(FaultPlanTest, DropSuppressesOtherFaults) {
+  FaultConfig config;
+  config.dup_prob = 1.0;
+  config.corrupt_prob = 1.0;
+  config.extra_delay_prob = 1.0;
+  FaultPlan plan(config);
+  plan.DropExactly(0, 0);
+  FaultPlan::Decision d = plan.Next();
+  EXPECT_TRUE(d.drop);
+  EXPECT_FALSE(d.duplicate);
+  EXPECT_FALSE(d.corrupt);
+  EXPECT_EQ(d.extra_delay_nanos, 0u);
+}
+
+ByteSpan Span(const char* s) {
+  return ByteSpan(reinterpret_cast<const uint8_t*>(s), std::strlen(s));
+}
+
+TEST(DatagramChannelTest, RoundTripChargesTheClock) {
+  VirtualClock clock;
+  DatagramChannel ch(LinkModel(), FaultPlan(), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("hello wire"));
+  EXPECT_GT(clock.now_nanos(), 0u);
+  ASSERT_TRUE(ch.HasPending(DatagramChannel::Dir::kAtoB));
+  auto got = ch.Receive(DatagramChannel::Dir::kAtoB);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(std::string(got->begin(), got->end()), "hello wire");
+  EXPECT_FALSE(ch.HasPending(DatagramChannel::Dir::kAtoB));
+  EXPECT_EQ(ch.stats().sent, 1u);
+  EXPECT_EQ(ch.stats().delivered, 1u);
+}
+
+TEST(DatagramChannelTest, DirectionsAreIndependent) {
+  VirtualClock clock;
+  DatagramChannel ch(LinkModel(), FaultPlan(), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("request"));
+  EXPECT_FALSE(ch.HasPending(DatagramChannel::Dir::kBtoA));
+  ch.Send(DatagramChannel::Dir::kBtoA, Span("reply"));
+  auto reply = ch.Receive(DatagramChannel::Dir::kBtoA);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(std::string(reply->begin(), reply->end()), "reply");
+}
+
+TEST(DatagramChannelTest, DroppedFrameNeverArrives) {
+  VirtualClock clock;
+  FaultPlan drops;
+  drops.DropExactly(0, 0);
+  DatagramChannel ch(LinkModel(), std::move(drops), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("gone"));
+  EXPECT_FALSE(ch.HasPending(DatagramChannel::Dir::kAtoB));
+  EXPECT_EQ(ch.stats().dropped, 1u);
+  EXPECT_GT(clock.now_nanos(), 0u);  // it still occupied the wire
+}
+
+TEST(DatagramChannelTest, DuplicateArrivesTwice) {
+  VirtualClock clock;
+  FaultConfig config;
+  config.dup_prob = 1.0;
+  DatagramChannel ch(LinkModel(), FaultPlan(config), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("twice"));
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+  int arrivals = 0;
+  while (ch.HasPending(DatagramChannel::Dir::kAtoB)) {
+    auto got = ch.Receive(DatagramChannel::Dir::kAtoB);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(got->begin(), got->end()), "twice");
+    ++arrivals;
+  }
+  EXPECT_EQ(arrivals, 2);
+}
+
+TEST(DatagramChannelTest, ReorderOvertakesQueuedFrame) {
+  VirtualClock clock;
+  FaultConfig config;
+  config.reorder_prob = 1.0;
+  DatagramChannel ch(LinkModel(), FaultPlan(config), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("first"));
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("second"));
+  EXPECT_EQ(ch.stats().reordered, 1u);  // first send had nothing to pass
+  auto got = ch.Receive(DatagramChannel::Dir::kAtoB);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "second");
+}
+
+TEST(DatagramChannelTest, ChecksumCatchesCorruption) {
+  VirtualClock clock;
+  FaultConfig config;
+  config.corrupt_prob = 1.0;
+  DatagramChannel ch(LinkModel(), FaultPlan(config), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("fragile payload bytes"));
+  ASSERT_TRUE(ch.HasPending(DatagramChannel::Dir::kAtoB));
+  auto got = ch.Receive(DatagramChannel::Dir::kAtoB);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ch.stats().corrupted, 1u);
+  EXPECT_EQ(ch.stats().checksum_failures, 1u);
+  EXPECT_EQ(ch.stats().delivered, 0u);
+}
+
+TEST(DatagramChannelTest, ExtraDelayChargedAtDelivery) {
+  VirtualClock clock;
+  FaultConfig config;
+  config.extra_delay_prob = 1.0;
+  config.extra_delay_max_nanos = 5'000'000;
+  DatagramChannel ch(LinkModel(), FaultPlan(config), FaultPlan(), &clock);
+  ch.Send(DatagramChannel::Dir::kAtoB, Span("late"));
+  uint64_t after_send = clock.now_nanos();
+  ASSERT_TRUE(ch.Receive(DatagramChannel::Dir::kAtoB).ok());
+  EXPECT_GT(clock.now_nanos(), after_send);
+}
+
+TEST(DatagramChannelTest, EmptyReceiveIsFailedPrecondition) {
+  VirtualClock clock;
+  DatagramChannel ch(LinkModel(), FaultPlan(), FaultPlan(), &clock);
+  auto got = ch.Receive(DatagramChannel::Dir::kAtoB);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplyCacheTest, FindInsertAndFifoEviction) {
+  ReplyCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.Find(1), nullptr);
+  cache.Insert(1, {0xAA});
+  cache.Insert(2, {0xBB});
+  ASSERT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ((*cache.Find(1))[0], 0xAA);
+  cache.Insert(3, {0xCC});  // evicts xid 1
+  EXPECT_EQ(cache.Find(1), nullptr);
+  ASSERT_NE(cache.Find(2), nullptr);
+  ASSERT_NE(cache.Find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PeekXidTest, BigEndianAndTruncation) {
+  uint8_t bytes[] = {0x01, 0x02, 0x03, 0x04, 0xFF};
+  auto xid = PeekXid(ByteSpan(bytes, sizeof(bytes)));
+  ASSERT_TRUE(xid.ok());
+  EXPECT_EQ(*xid, 0x01020304u);
+  auto bad = PeekXid(ByteSpan(bytes, 3));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+// --- RetryingTransport over an echo server -------------------------------
+
+// An at-most-once test rig: the handler echoes the request datagram back
+// (xid stays in front) and counts executions per xid.
+struct EchoRig {
+  explicit EchoRig(FaultPlan to_server, FaultPlan to_client,
+                   RetryPolicy policy = RetryPolicy{})
+      : channel(LinkModel(), std::move(to_server), std::move(to_client),
+                &clock),
+        transport(
+            &channel,
+            [this](ByteSpan request, std::vector<uint8_t>* reply) {
+              auto xid = PeekXid(request);
+              if (!xid.ok()) {
+                return xid.status();
+              }
+              ++executions[*xid];
+              reply->assign(request.begin(), request.end());
+              return Status::Ok();
+            },
+            RemoteServerModel(), policy) {}
+
+  Status Call(uint32_t xid, std::vector<uint8_t>* reply) {
+    uint8_t request[8] = {
+        static_cast<uint8_t>(xid >> 24), static_cast<uint8_t>(xid >> 16),
+        static_cast<uint8_t>(xid >> 8),  static_cast<uint8_t>(xid),
+        0xDE,                            0xAD,
+        0xBE,                            0xEF};
+    return transport.Call(xid, ByteSpan(request, sizeof(request)), reply);
+  }
+
+  VirtualClock clock;
+  DatagramChannel channel;
+  RetryingTransport transport;
+  std::map<uint32_t, int> executions;
+};
+
+TEST(RetryingTransportTest, PerfectWireFirstAttemptSucceeds) {
+  EchoRig rig{FaultPlan(), FaultPlan()};
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(rig.Call(100, &reply).ok());
+  EXPECT_EQ(reply.size(), 8u);
+  EXPECT_EQ(rig.executions[100], 1);
+  EXPECT_EQ(rig.transport.stats().retransmits, 0u);
+  EXPECT_EQ(rig.transport.stats().dup_cache_misses, 1u);
+}
+
+TEST(RetryingTransportTest, DroppedRequestRetransmits) {
+  FaultPlan to_server;
+  to_server.DropExactly(0, 0);  // lose the first request frame
+  EchoRig rig{std::move(to_server), FaultPlan()};
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(rig.Call(7, &reply).ok());
+  EXPECT_EQ(rig.executions[7], 1);  // never executed for the lost frame
+  EXPECT_EQ(rig.transport.stats().retransmits, 1u);
+  EXPECT_EQ(rig.transport.stats().dup_cache_hits, 0u);
+  EXPECT_GT(rig.transport.stats().backoff_nanos, 0u);
+}
+
+TEST(RetryingTransportTest, DroppedReplyHitsDupCacheNotTheWorkFunction) {
+  // The at-most-once acceptance case: the request executes, the reply is
+  // lost, the retransmit must be answered from the reply cache.
+  FaultPlan to_client;
+  to_client.DropExactly(0, 0);  // lose the first reply frame
+  EchoRig rig{FaultPlan(), std::move(to_client)};
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(rig.Call(9, &reply).ok());
+  EXPECT_EQ(rig.executions[9], 1);  // executed exactly once
+  EXPECT_EQ(rig.transport.stats().retransmits, 1u);
+  EXPECT_EQ(rig.transport.stats().dup_cache_hits, 1u);
+  EXPECT_EQ(rig.transport.stats().dup_cache_misses, 1u);
+}
+
+TEST(RetryingTransportTest, TotalLossReturnsUnavailableWithinDeadline) {
+  FaultConfig black_hole;
+  black_hole.drop_prob = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EchoRig rig{FaultPlan(black_hole), FaultPlan(), policy};
+  std::vector<uint8_t> reply;
+  uint64_t start = rig.clock.now_nanos();
+  Status st = rig.Call(11, &reply);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.executions.count(11), 0u);
+  EXPECT_EQ(rig.transport.stats().retransmits, 3u);
+  EXPECT_LE(rig.clock.now_nanos() - start, policy.deadline_nanos);
+}
+
+TEST(RetryingTransportTest, DeadlineExceededOnTheVirtualClock) {
+  FaultConfig black_hole;
+  black_hole.drop_prob = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 1000;           // budget will not bind
+  policy.deadline_nanos = 100'000'000;  // 100 ms virtual deadline
+  EchoRig rig{FaultPlan(black_hole), FaultPlan(), policy};
+  std::vector<uint8_t> reply;
+  uint64_t start = rig.clock.now_nanos();
+  Status st = rig.Call(12, &reply);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  // The call gives up at (not past) the deadline on the virtual clock;
+  // in-flight wire time already charged can exceed it only marginally.
+  EXPECT_LE(rig.clock.now_nanos() - start,
+            policy.deadline_nanos + 10'000'000);
+  EXPECT_GE(rig.transport.stats().deadline_expiries, 1u);
+}
+
+TEST(RetryingTransportTest, CorruptRepliesRetryByDefault) {
+  FaultConfig mangler;
+  mangler.corrupt_prob = 1.0;  // every reply fails its checksum
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EchoRig rig{FaultPlan(), FaultPlan(mangler), policy};
+  std::vector<uint8_t> reply;
+  Status st = rig.Call(13, &reply);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);  // degraded, not hung
+  EXPECT_GE(rig.transport.stats().corrupt_replies, 3u);
+  EXPECT_EQ(rig.executions[13], 1);  // dup cache absorbed the retransmits
+  EXPECT_EQ(rig.transport.stats().dup_cache_hits, 2u);
+}
+
+TEST(RetryingTransportTest, CorruptReplyFailsFastWhenConfigured) {
+  FaultConfig mangler;
+  mangler.corrupt_prob = 1.0;
+  RetryPolicy policy;
+  policy.retry_on_corrupt = false;
+  EchoRig rig{FaultPlan(), FaultPlan(mangler), policy};
+  std::vector<uint8_t> reply;
+  Status st = rig.Call(14, &reply);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(rig.transport.stats().retransmits, 0u);
+}
+
+TEST(RetryingTransportTest, StaleDuplicateRepliesAreDiscarded) {
+  FaultConfig dupper;
+  dupper.dup_prob = 1.0;  // every reply arrives twice
+  EchoRig rig{FaultPlan(), FaultPlan(dupper)};
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(rig.Call(20, &reply).ok());
+  // Call 20's duplicate reply is still queued; call 21 must skip past it.
+  ASSERT_TRUE(rig.Call(21, &reply).ok());
+  EXPECT_EQ(PeekXid(ByteSpan(reply.data(), reply.size())).value(), 21u);
+  EXPECT_GE(rig.transport.stats().stale_replies, 1u);
+  EXPECT_EQ(rig.executions[20], 1);
+  EXPECT_EQ(rig.executions[21], 1);
+}
+
+TEST(RetryingTransportTest, BackoffWaitsGrowExponentially) {
+  FaultConfig black_hole;
+  black_hole.drop_prob = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_rto_nanos = 1'000'000;
+  policy.max_rto_nanos = 1'000'000'000;
+  EchoRig rig{FaultPlan(black_hole), FaultPlan(), policy};
+  std::vector<uint8_t> reply;
+  (void)rig.Call(30, &reply);
+  // Three waits of ~1, ~2, ~4 ms (plus ≤25% jitter each).
+  uint64_t backoff = rig.transport.stats().backoff_nanos;
+  EXPECT_GE(backoff, 7'000'000u);
+  EXPECT_LE(backoff, 7'000'000u + 3u * 250'000u + 3u);
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -44,6 +44,26 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, TransportDegradationCodes) {
+  // The retrying transport's graceful-degradation states are first-class
+  // codes, not kInternal: callers dispatch on them.
+  Status deadline = DeadlineExceededError("virtual deadline passed");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.message(), "virtual deadline passed");
+  EXPECT_EQ(deadline.ToString(),
+            "DEADLINE_EXCEEDED: virtual deadline passed");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+
+  Status unavailable = UnavailableError("retry budget exhausted");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: retry budget exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(ResultTest, HoldsValue) {

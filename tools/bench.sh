@@ -8,6 +8,8 @@
 #
 # Full runs take minutes (they reproduce the paper figures at full
 # iteration counts); --smoke runs in seconds and is what CI gates on.
+# bench_fault_nfs runs entirely on the virtual clock (lossy-wire NFS
+# read), so its figures and counters are exact in both modes.
 set -eu
 
 cd "$(dirname "$0")/.."

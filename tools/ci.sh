@@ -22,6 +22,11 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$JOBS"
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  # The full run above includes the fault-injection soak (label: fault);
+  # repeat it as its own step so lossy-wire regressions surface with a
+  # dedicated line in every configuration, sanitizers included.
+  echo "== fault-injection soak ($build_dir) =="
+  ctest --test-dir "$build_dir" -L fault --output-on-failure -j "$JOBS"
 }
 
 echo "== plain build + tests =="

@@ -48,6 +48,19 @@ constexpr const char* kGatedCounters[] = {
     "marshal.bytes_unmarshaled",
     "net.packets",
     "net.bytes_on_wire",
+    // Lossy-wire substrate: injected faults and their recovery are
+    // deterministic (seeded FaultPlan + virtual clock), so CI pins them
+    // exactly — a drift here means the fault schedule itself changed.
+    "net.datagrams_sent",
+    "net.datagrams_delivered",
+    "net.fault.drops",
+    "net.fault.dups",
+    "net.fault.reorders",
+    "net.fault.corrupts",
+    "net.checksum_failures",
+    "rpc.retry.retransmits",
+    "rpc.dupcache.hits",
+    "rpc.dupcache.misses",
 };
 
 Result<std::string> ReadFile(const std::string& path) {
