@@ -22,6 +22,7 @@
 #include "src/net/link.h"
 #include "src/osim/address_space.h"
 #include "src/pdl/apply.h"
+#include "src/rpc/pipeline.h"
 #include "src/rpc/retry.h"
 #include "src/support/timing.h"
 
@@ -98,6 +99,18 @@ class NfsClient {
   // kUnavailable / kDeadlineExceeded / kDataLoss exactly as
   // RetryingTransport::Call does — never a hang, never a double read.
   Result<ReadStats> ReadFileLossy(StubKind kind, RetryingTransport* rpc);
+
+  // The same read again, but with all chunks submitted up front to a
+  // sliding-window PipelinedTransport: up to `window` READs are in flight
+  // concurrently, replies may land out of order, and each one is decoded
+  // into its own disjoint region of the user buffer as it arrives. The
+  // delivered bytes are verified identical to the serial paths.
+  // `chunk_bytes` (clamped to kNfsMaxData) sets the per-call payload —
+  // small chunks make the workload latency-bound, where the window helps
+  // most; the default reproduces the serial call mix. Same degradation
+  // contract as ReadFileLossy.
+  Result<ReadStats> ReadFilePipelined(StubKind kind, PipelinedTransport* rpc,
+                                      size_t chunk_bytes = kNfsMaxData);
 
   AddressSpace* user_space() { return user_space_.get(); }
   AddressSpace* kernel_space() { return kernel_space_.get(); }

@@ -1,5 +1,7 @@
 #include "src/net/datagram.h"
 
+#include <algorithm>
+
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -27,8 +29,21 @@ DatagramChannel::DatagramChannel(LinkModel link, FaultPlan plan_a_to_b,
 
 void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
                                const FaultPlan::Decision& d) {
-  // The frame occupies the wire whether or not it arrives.
-  link_.Transfer(bytes.size(), clock_);
+  uint64_t deliver_at = 0;
+  if (scheduled_) {
+    // The frame occupies the wire from when the medium frees up; latency
+    // and extra delay pipeline on top and only push out the delivery time.
+    link_.CountTransfer(bytes.size());
+    uint64_t& wire_free = wire_free_nanos_[static_cast<size_t>(dir)];
+    uint64_t start = std::max(clock_->now_nanos(), wire_free);
+    wire_free = start + link_.OccupancyNanos(bytes.size());
+    deliver_at =
+        wire_free + link_.LatencyNanos(bytes.size()) + d.extra_delay_nanos;
+  } else {
+    // Lockstep: the frame occupies the wire whether or not it arrives,
+    // charged to the shared clock right now.
+    link_.Transfer(bytes.size(), clock_);
+  }
   if (d.drop) {
     ++stats_.dropped;
     TraceAdd(TraceCounter::kNetFaultDrops);
@@ -36,7 +51,8 @@ void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
   }
   Frame frame;
   frame.bytes = std::move(bytes);
-  frame.extra_delay_nanos = d.extra_delay_nanos;
+  frame.extra_delay_nanos = scheduled_ ? 0 : d.extra_delay_nanos;
+  frame.deliver_at_nanos = deliver_at;
   if (d.extra_delay_nanos > 0) {
     TraceAdd(TraceCounter::kNetFaultExtraDelayNanos, d.extra_delay_nanos);
   }
@@ -71,10 +87,14 @@ void DatagramChannel::Send(Dir dir, ByteSpan payload) {
   w.WriteSpan(payload);
 
   FaultPlan::Decision d = plans_[static_cast<size_t>(dir)].Next();
-  std::vector<uint8_t> bytes(w.span().begin(), w.span().end());
+  // Release the framed bytes straight out of the writer — the send path
+  // performs no frame-buffer copy (net.frame_copies counts any that
+  // remain; only duplicated frames need one).
+  std::vector<uint8_t> bytes = w.TakeBuffer();
   if (d.duplicate) {
     ++stats_.duplicated;
     TraceAdd(TraceCounter::kNetFaultDups);
+    TraceAdd(TraceCounter::kNetFrameCopies);
     // The duplicate travels as its own physical frame with no further
     // faults of its own (the plan decided this packet, not the copy).
     Transmit(dir, bytes, FaultPlan::Decision{});
@@ -83,13 +103,29 @@ void DatagramChannel::Send(Dir dir, ByteSpan payload) {
 }
 
 bool DatagramChannel::HasPending(Dir dir) const {
-  return !queues_[static_cast<size_t>(dir)].empty();
+  const auto& queue = queues_[static_cast<size_t>(dir)];
+  if (queue.empty()) {
+    return false;
+  }
+  return !scheduled_ ||
+         queue.front().deliver_at_nanos <= clock_->now_nanos();
+}
+
+std::optional<uint64_t> DatagramChannel::NextDeliveryNanos(Dir dir) const {
+  const auto& queue = queues_[static_cast<size_t>(dir)];
+  if (queue.empty()) {
+    return std::nullopt;
+  }
+  return queue.front().deliver_at_nanos;
 }
 
 Result<std::vector<uint8_t>> DatagramChannel::Receive(Dir dir) {
   auto& queue = queues_[static_cast<size_t>(dir)];
   if (queue.empty()) {
     return FailedPreconditionError("no datagram pending");
+  }
+  if (scheduled_ && queue.front().deliver_at_nanos > clock_->now_nanos()) {
+    return FailedPreconditionError("next datagram is still in flight");
   }
   Frame frame = std::move(queue.front());
   queue.pop_front();

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "src/net/fault.h"
@@ -66,6 +67,25 @@ class DatagramChannel {
   // queue is empty (callers should check HasPending first).
   Result<std::vector<uint8_t>> Receive(Dir dir);
 
+  // --- scheduled delivery (event-driven transports) ------------------
+  //
+  // In the default lockstep mode Send charges wire time to the shared
+  // clock inline and a queued frame is receivable immediately. In
+  // scheduled mode Send instead stamps each frame with a delivery
+  // timestamp: wire occupancy serializes per direction through a
+  // busy-until horizon, while per-packet latency and fault extra delay
+  // pipeline on top of it. HasPending/Receive then only surface frames
+  // whose timestamp the clock has reached, and an event-driven transport
+  // polls NextDeliveryNanos to know when to wake up. Pick the mode before
+  // the first Send and do not mix transports on one channel.
+  void set_scheduled_delivery(bool on) { scheduled_ = on; }
+  bool scheduled_delivery() const { return scheduled_; }
+
+  // Delivery timestamp of the frame at the head of `dir`'s queue (which
+  // may still be in flight); nullopt when the queue is empty. Only
+  // meaningful in scheduled mode (lockstep frames carry timestamp 0).
+  std::optional<uint64_t> NextDeliveryNanos(Dir dir) const;
+
   const Stats& stats() const { return stats_; }
   VirtualClock* clock() { return clock_; }
   const LinkModel& link() const { return link_; }
@@ -73,7 +93,8 @@ class DatagramChannel {
  private:
   struct Frame {
     std::vector<uint8_t> bytes;       // header + payload, post-corruption
-    uint64_t extra_delay_nanos = 0;   // charged at delivery
+    uint64_t extra_delay_nanos = 0;   // charged at delivery (lockstep mode)
+    uint64_t deliver_at_nanos = 0;    // receivable time (scheduled mode)
   };
 
   void Transmit(Dir dir, std::vector<uint8_t> bytes,
@@ -84,6 +105,8 @@ class DatagramChannel {
   VirtualClock* clock_;
   std::deque<Frame> queues_[2];
   uint32_t next_seq_[2] = {0, 0};
+  bool scheduled_ = false;
+  uint64_t wire_free_nanos_[2] = {0, 0};  // per-direction busy-until horizon
   Stats stats_;
 };
 

@@ -38,6 +38,19 @@ class LinkModel {
   // Seconds one transfer of `payload_bytes` takes (without a clock).
   double TransferSeconds(uint64_t payload_bytes) const;
 
+  // The two components of TransferSeconds, in nanoseconds, for
+  // scheduled-delivery channels that pipeline transfers: occupancy is the
+  // interval the shared medium is busy serializing the frame (back-to-back
+  // transfers queue behind it), latency is per-packet propagation and
+  // handling delay (overlaps between transfers).
+  uint64_t OccupancyNanos(uint64_t payload_bytes) const;
+  uint64_t LatencyNanos(uint64_t payload_bytes) const;
+
+  // Trace-counts one transfer (packets, bytes on wire, virtual nanos)
+  // without advancing any clock — scheduled-delivery channels charge time
+  // through delivery timestamps instead of Transfer.
+  void CountTransfer(uint64_t payload_bytes) const;
+
   const Config& config() const { return config_; }
 
  private:
@@ -58,6 +71,15 @@ class RemoteServerModel {
   void Process(uint64_t bytes, VirtualClock* clock) const {
     clock->AdvanceSeconds(config_.per_call_sec +
                           config_.per_byte_sec * static_cast<double>(bytes));
+  }
+
+  // Nanoseconds one call of `bytes` occupies the server CPU (no clock) —
+  // event-driven transports serialize executions on a busy-until horizon.
+  uint64_t ProcessNanos(uint64_t bytes) const {
+    return static_cast<uint64_t>(
+        (config_.per_call_sec +
+         config_.per_byte_sec * static_cast<double>(bytes)) *
+        1e9);
   }
 
  private:

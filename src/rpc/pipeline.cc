@@ -1,0 +1,284 @@
+#include "src/rpc/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+namespace {
+constexpr auto kAtoB = DatagramChannel::Dir::kAtoB;
+constexpr auto kBtoA = DatagramChannel::Dir::kBtoA;
+}  // namespace
+
+PipelinedTransport::PipelinedTransport(DatagramChannel* channel,
+                                       DatagramHandler handler,
+                                       RemoteServerModel server_model,
+                                       PipelinePolicy policy,
+                                       EventQueue* events)
+    : channel_(channel), endpoint_(std::move(handler)),
+      server_model_(server_model), policy_(policy),
+      jitter_(policy.retry.jitter_seed), events_(events) {
+  if (policy_.window == 0) {
+    policy_.window = 1;
+  }
+  channel_->set_scheduled_delivery(true);
+}
+
+EventQueue::EventId PipelinedTransport::Schedule(uint64_t at_nanos,
+                                                 std::function<void()> fn) {
+  return events_->ScheduleAt(at_nanos, [this, fn = std::move(fn)]() {
+    ++stats_.events;
+    TraceAdd(TraceCounter::kRpcPipelineEvents);
+    fn();
+  });
+}
+
+void PipelinedTransport::Submit(uint32_t xid, ByteSpan request,
+                                Completion done) {
+  ++stats_.calls;
+  TraceAdd(TraceCounter::kRpcPipelineCalls);
+  PendingCall pending;
+  pending.call.xid = xid;
+  pending.call.request.assign(request.begin(), request.end());
+  // The deadline starts at submission: time a call spends queued behind a
+  // full window counts against it, exactly as a kernel send queue would.
+  pending.call.Arm(policy_.retry, events_->clock()->now_nanos());
+  pending.done = std::move(done);
+  if (in_flight_.size() >= policy_.window) {
+    ++stats_.window_stalls;
+    TraceAdd(TraceCounter::kRpcPipelineWindowStalls);
+  }
+  pending_.push_back(std::move(pending));
+  StartNext();
+}
+
+void PipelinedTransport::StartNext() {
+  while (in_flight_.size() < policy_.window && !pending_.empty()) {
+    PendingCall next = std::move(pending_.front());
+    pending_.pop_front();
+    uint32_t xid = next.call.xid;
+    InFlight& f = in_flight_[xid];
+    f.call = std::move(next.call);
+    f.done = std::move(next.done);
+    start_order_.push_back(xid);
+    stats_.max_in_flight =
+        std::max<uint64_t>(stats_.max_in_flight, in_flight_.size());
+    TransmitCall(f);
+  }
+}
+
+void PipelinedTransport::TransmitCall(InFlight& f) {
+  ++f.call.attempts;
+  if (f.call.attempts > 1) {
+    ++stats_.retransmits;
+    TraceAdd(TraceCounter::kRpcPipelineRetransmits);
+  }
+  channel_->Send(kAtoB,
+                 ByteSpan(f.call.request.data(), f.call.request.size()));
+  ArmServerPoll();
+  uint64_t now = events_->clock()->now_nanos();
+  bool expires = false;
+  uint64_t wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now,
+                                         &expires);
+  // When the wait was clipped the timer fires at the deadline and OnRto
+  // fails the call; no special case needed here.
+  uint32_t xid = f.call.xid;
+  f.rto_event = Schedule(now + wait, [this, xid]() { OnRto(xid); });
+}
+
+void PipelinedTransport::OnRto(uint32_t xid) {
+  auto it = in_flight_.find(xid);
+  if (it == in_flight_.end()) {
+    return;  // completed after this timer was already popped
+  }
+  InFlight& f = it->second;
+  f.rto_event = EventQueue::kInvalidEvent;
+  if (f.call.AttemptsExhausted(policy_.retry)) {
+    Complete(xid, UnavailableError(StrFormat(
+                      "no reply for xid %u after %u attempts", xid,
+                      f.call.attempts)),
+             {});
+    return;
+  }
+  if (f.call.DeadlinePassed(events_->clock()->now_nanos())) {
+    Complete(xid, DeadlineExceededError(StrFormat(
+                      "deadline passed after %u attempts for xid %u",
+                      f.call.attempts, xid)),
+             {});
+    return;
+  }
+  TransmitCall(f);
+}
+
+void PipelinedTransport::ArmServerPoll() {
+  auto next = channel_->NextDeliveryNanos(kAtoB);
+  if (!next) {
+    return;
+  }
+  if (server_poll_armed_ && server_poll_at_ <= *next) {
+    return;  // an earlier (or equal) wakeup already covers this frame
+  }
+  if (server_poll_armed_) {
+    events_->Cancel(server_poll_event_);
+  }
+  server_poll_armed_ = true;
+  server_poll_at_ = *next;
+  server_poll_event_ = Schedule(*next, [this]() {
+    server_poll_armed_ = false;
+    PumpServerSide();
+  });
+}
+
+void PipelinedTransport::ArmClientPoll() {
+  auto next = channel_->NextDeliveryNanos(kBtoA);
+  if (!next) {
+    return;
+  }
+  if (client_poll_armed_ && client_poll_at_ <= *next) {
+    return;
+  }
+  if (client_poll_armed_) {
+    events_->Cancel(client_poll_event_);
+  }
+  client_poll_armed_ = true;
+  client_poll_at_ = *next;
+  client_poll_event_ = Schedule(*next, [this]() {
+    client_poll_armed_ = false;
+    DrainReplies();
+  });
+}
+
+void PipelinedTransport::PumpServerSide() {
+  while (channel_->HasPending(kAtoB)) {
+    auto request = channel_->Receive(kAtoB);
+    if (!request.ok()) {
+      continue;  // checksum discard — the sender's RTO covers it
+    }
+    auto handled =
+        endpoint_.Handle(ByteSpan(request->data(), request->size()));
+    if (!handled.ok()) {
+      continue;  // unparseable or rejected: nothing to send back
+    }
+    if (handled->dup_hit) {
+      // Cache hit costs no server CPU; the cached reply goes straight out.
+      ++stats_.dup_cache_hits;
+      channel_->Send(kBtoA, ByteSpan(handled->reply->data(),
+                                     handled->reply->size()));
+      ArmClientPoll();
+      continue;
+    }
+    ++stats_.dup_cache_misses;
+    // The one real execution occupies the server CPU; executions queue
+    // behind each other on the busy-until horizon, and the reply enters
+    // the wire only when this one finishes.
+    uint64_t now = events_->clock()->now_nanos();
+    uint64_t finish = std::max(now, server_free_nanos_) +
+                      server_model_.ProcessNanos(handled->reply->size());
+    server_free_nanos_ = finish;
+    Schedule(finish, [this, reply = *handled->reply]() {
+      channel_->Send(kBtoA, ByteSpan(reply.data(), reply.size()));
+      ArmClientPoll();
+    });
+  }
+  ArmServerPoll();  // more requests may still be in flight
+}
+
+void PipelinedTransport::DrainReplies() {
+  while (channel_->HasPending(kBtoA)) {
+    auto datagram = channel_->Receive(kBtoA);
+    if (!datagram.ok()) {
+      // A corrupt reply has no attributable xid; treat it as a drop and
+      // let that call's RTO fire (retry_on_corrupt=false is ignored on
+      // the pipelined path — see the header).
+      ++stats_.corrupt_replies;
+      TraceAdd(TraceCounter::kRpcCorruptReplies);
+      continue;
+    }
+    auto xid = PeekXid(ByteSpan(datagram->data(), datagram->size()));
+    if (!xid.ok()) {
+      ++stats_.stale_replies;  // too short to match anything
+      TraceAdd(TraceCounter::kRpcPipelineStaleReplies);
+      continue;
+    }
+    auto it = in_flight_.find(*xid);
+    if (it == in_flight_.end()) {
+      // A late duplicate of a call that already completed (or failed).
+      ++stats_.stale_replies;
+      TraceAdd(TraceCounter::kRpcPipelineStaleReplies);
+      continue;
+    }
+    if (it->second.call.DeadlinePassed(events_->clock()->now_nanos())) {
+      Complete(*xid, DeadlineExceededError(StrFormat(
+                         "reply for xid %u arrived after the deadline",
+                         *xid)),
+               {});
+      continue;
+    }
+    Complete(*xid, Status::Ok(), std::move(*datagram));
+  }
+  ArmClientPoll();  // more replies may still be in flight
+}
+
+void PipelinedTransport::Complete(uint32_t xid, Status status,
+                                  std::vector<uint8_t> reply) {
+  auto it = in_flight_.find(xid);
+  if (it == in_flight_.end()) {
+    return;
+  }
+  if (it->second.rto_event != EventQueue::kInvalidEvent) {
+    events_->Cancel(it->second.rto_event);
+  }
+  if (!start_order_.empty() && start_order_.front() != xid) {
+    ++stats_.out_of_order_replies;
+    TraceAdd(TraceCounter::kRpcPipelineOutOfOrder);
+  }
+  auto pos = std::find(start_order_.begin(), start_order_.end(), xid);
+  if (pos != start_order_.end()) {
+    start_order_.erase(pos);
+  }
+  if (status.code() == StatusCode::kUnavailable) {
+    ++stats_.unavailable_failures;
+    TraceAdd(TraceCounter::kRpcUnavailableFailures);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_expiries;
+    TraceAdd(TraceCounter::kRpcDeadlineExpiries);
+  }
+  Completion done = std::move(it->second.done);
+  in_flight_.erase(it);
+  StartNext();  // the freed slot admits the next queued call
+  done(std::move(status), std::move(reply));
+}
+
+Status PipelinedTransport::Drive() {
+  while (!in_flight_.empty() || !pending_.empty()) {
+    if (!events_->RunNext()) {
+      return InternalError(StrFormat(
+          "pipelined transport stalled: %zu in flight, %zu queued, no "
+          "events pending",
+          in_flight_.size(), pending_.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PipelinedTransport::Call(uint32_t xid, ByteSpan request,
+                                std::vector<uint8_t>* reply) {
+  Status result = Status::Ok();
+  Submit(xid, request, [&result, reply](Status st,
+                                        std::vector<uint8_t> r) {
+    result = std::move(st);
+    if (result.ok() && reply != nullptr) {
+      *reply = std::move(r);
+    }
+  });
+  Status driven = Drive();
+  if (!driven.ok()) {
+    return driven;
+  }
+  return result;
+}
+
+}  // namespace flexrpc

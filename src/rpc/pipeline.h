@@ -1,0 +1,152 @@
+// PipelinedTransport — sliding-window at-most-once RPC on an event queue.
+//
+// The serial RetryingTransport is stop-and-wait: one call occupies the
+// whole round trip, so throughput is one call per (request wire time +
+// server time + reply wire time). This transport keeps up to `window`
+// calls in flight at once over the same DatagramChannel and the same
+// at-most-once machinery:
+//
+//   - every in-flight call carries its own ClientCallState (attempt
+//     budget, RTO, deadline) and its own retransmit timer on the shared
+//     EventQueue;
+//   - replies are matched by xid against the in-flight table, so they may
+//     complete out of order;
+//   - the server side is the same AtMostOnceEndpoint the serial transport
+//     uses — duplicate suppression and exactly-once execution hold no
+//     matter how the window interleaves retransmits.
+//
+// Time is discrete-event: the channel runs in scheduled-delivery mode
+// (frames carry delivery timestamps; wire occupancy serializes per
+// direction, latency pipelines) and the server serializes executions on a
+// busy-until horizon. The transport never advances the clock itself — it
+// only schedules callbacks, and EventQueue::RunNext moves the clock to the
+// next deadline. Throughput is therefore bounded by the busiest resource
+// (a wire direction or the server CPU) instead of the sum of all three,
+// which is exactly the speedup the window buys.
+//
+// One deliberate divergence from the serial path: a corrupt reply cannot
+// be attributed to an xid (the checksum rejects the whole frame), so the
+// pipelined path always treats it as a drop and lets the RTO cover it —
+// RetryPolicy::retry_on_corrupt=false is ignored here.
+
+#ifndef FLEXRPC_SRC_RPC_PIPELINE_H_
+#define FLEXRPC_SRC_RPC_PIPELINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/datagram.h"
+#include "src/net/link.h"
+#include "src/rpc/retry.h"
+#include "src/support/event_queue.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+struct PipelinePolicy {
+  RetryPolicy retry;   // per-call budget, RTO, deadline, jitter
+  uint32_t window = 8; // max calls in flight; 0 is clamped to 1
+};
+
+class PipelinedTransport {
+ public:
+  // Invoked exactly once per submitted call, from inside Drive. On OK the
+  // reply datagram is passed (xid still in front); on failure the vector
+  // is empty and the status carries the same degradation codes as the
+  // serial transport.
+  using Completion = std::function<void(Status, std::vector<uint8_t>)>;
+
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t retransmits = 0;
+    uint64_t stale_replies = 0;
+    uint64_t corrupt_replies = 0;
+    uint64_t dup_cache_hits = 0;
+    uint64_t dup_cache_misses = 0;     // == server work executions
+    uint64_t deadline_expiries = 0;
+    uint64_t unavailable_failures = 0;
+    uint64_t out_of_order_replies = 0; // completed before an older xid
+    uint64_t window_stalls = 0;        // submissions that had to queue
+    uint64_t max_in_flight = 0;
+    uint64_t events = 0;               // event-queue dispatches
+  };
+
+  // Switches `channel` into scheduled-delivery mode; do not share it with
+  // a lockstep transport. `events` must run on the same VirtualClock as
+  // the channel. All referenced objects must outlive the transport.
+  PipelinedTransport(DatagramChannel* channel, DatagramHandler handler,
+                     RemoteServerModel server_model, PipelinePolicy policy,
+                     EventQueue* events);
+
+  // Queues one call. Starts transmitting immediately if a window slot is
+  // free; otherwise waits for one (counted as a window stall). `done` runs
+  // during a later Drive.
+  void Submit(uint32_t xid, ByteSpan request, Completion done);
+
+  // Runs the event queue until every submitted call has completed.
+  // Returns non-OK only if the machine stalls (calls outstanding with no
+  // scheduled event) — a bug, not a degradation.
+  Status Drive();
+
+  // Convenience: Submit one call and Drive to completion (also drains any
+  // other outstanding calls). Returns that call's status.
+  Status Call(uint32_t xid, ByteSpan request, std::vector<uint8_t>* reply);
+
+  const Stats& stats() const { return stats_; }
+  const PipelinePolicy& policy() const { return policy_; }
+  VirtualClock* clock() { return channel_->clock(); }
+  size_t in_flight() const { return in_flight_.size(); }
+
+ private:
+  struct InFlight {
+    ClientCallState call;
+    EventQueue::EventId rto_event = EventQueue::kInvalidEvent;
+    Completion done;
+  };
+
+  struct PendingCall {
+    ClientCallState call;  // deadline armed at Submit time
+    Completion done;
+  };
+
+  // Schedules `fn` at `at_nanos`, counting the dispatch when it runs.
+  EventQueue::EventId Schedule(uint64_t at_nanos, std::function<void()> fn);
+
+  void StartNext();               // fill free window slots from pending_
+  void TransmitCall(InFlight& f); // send + arm the RTO timer
+  void OnRto(uint32_t xid);       // retransmit or fail the call
+  void ArmServerPoll();           // wake when the next request lands
+  void ArmClientPoll();           // wake when the next reply lands
+  void PumpServerSide();          // dedup/execute/schedule replies
+  void DrainReplies();            // match replies to in-flight calls
+  void Complete(uint32_t xid, Status status, std::vector<uint8_t> reply);
+
+  DatagramChannel* channel_;
+  AtMostOnceEndpoint endpoint_;
+  RemoteServerModel server_model_;
+  PipelinePolicy policy_;
+  Rng jitter_;
+  EventQueue* events_;
+
+  std::deque<PendingCall> pending_;              // waiting for a slot
+  std::unordered_map<uint32_t, InFlight> in_flight_;
+  std::deque<uint32_t> start_order_;             // in-flight xids, oldest first
+  uint64_t server_free_nanos_ = 0;               // server CPU busy-until
+
+  bool server_poll_armed_ = false;
+  uint64_t server_poll_at_ = 0;
+  EventQueue::EventId server_poll_event_ = EventQueue::kInvalidEvent;
+  bool client_poll_armed_ = false;
+  uint64_t client_poll_at_ = 0;
+  EventQueue::EventId client_poll_event_ = EventQueue::kInvalidEvent;
+
+  Stats stats_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_RPC_PIPELINE_H_

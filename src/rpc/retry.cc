@@ -7,22 +7,32 @@
 
 namespace flexrpc {
 
-const std::vector<uint8_t>* ReplyCache::Find(uint32_t xid) const {
+const std::vector<uint8_t>* ReplyCache::Find(uint32_t xid) {
   auto it = entries_.find(xid);
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  // Refresh: a looked-up xid is being retransmitted right now and must not
+  // be the next eviction victim.
+  order_.splice(order_.end(), order_, it->second.slot);
+  return &it->second.reply;
 }
 
 void ReplyCache::Insert(uint32_t xid, std::vector<uint8_t> reply) {
-  if (entries_.count(xid) != 0) {
-    entries_[xid] = std::move(reply);
+  auto it = entries_.find(xid);
+  if (it != entries_.end()) {
+    // Overwrite refreshes the LRU slot too — a re-inserted xid is as live
+    // as a freshly inserted one.
+    it->second.reply = std::move(reply);
+    order_.splice(order_.end(), order_, it->second.slot);
     return;
   }
   if (entries_.size() >= capacity_ && !order_.empty()) {
     entries_.erase(order_.front());
     order_.pop_front();
   }
-  entries_.emplace(xid, std::move(reply));
   order_.push_back(xid);
+  entries_.emplace(xid, Entry{std::move(reply), std::prev(order_.end())});
 }
 
 Result<uint32_t> PeekXid(ByteSpan datagram) {
@@ -35,11 +45,50 @@ Result<uint32_t> PeekXid(ByteSpan datagram) {
          static_cast<uint32_t>(datagram[3]);
 }
 
+Result<AtMostOnceEndpoint::Handled> AtMostOnceEndpoint::Handle(
+    ByteSpan request) {
+  auto xid = PeekXid(request);
+  if (!xid.ok()) {
+    return xid.status();  // unparseable datagram: nothing to reply to
+  }
+  if (const std::vector<uint8_t>* cached = cache_.Find(*xid)) {
+    // Duplicate request: hand back the cached reply, do NOT re-execute.
+    ++hits_;
+    TraceAdd(TraceCounter::kRpcDupCacheHits);
+    return Handled{*xid, true, cached};
+  }
+  std::vector<uint8_t> reply;
+  Status st = handler_(request, &reply);
+  if (!st.ok()) {
+    return st;  // malformed request body: drop, as a real server would
+  }
+  ++misses_;
+  TraceAdd(TraceCounter::kRpcDupCacheMisses);
+  cache_.Insert(*xid, std::move(reply));
+  return Handled{*xid, false, cache_.Find(*xid)};
+}
+
+uint64_t ClientCallState::NextBackoffWait(const RetryPolicy& policy,
+                                          Rng* jitter, uint64_t now_nanos,
+                                          bool* expires) {
+  if (now_nanos >= deadline_nanos) {
+    *expires = true;
+    return 0;
+  }
+  uint64_t wait = rto_nanos + jitter->NextBelow(rto_nanos / 4 + 1);
+  *expires = now_nanos + wait >= deadline_nanos;
+  if (*expires) {
+    wait = deadline_nanos - now_nanos;
+  }
+  rto_nanos = std::min(rto_nanos * 2, policy.max_rto_nanos);
+  return wait;
+}
+
 RetryingTransport::RetryingTransport(DatagramChannel* channel,
                                      DatagramHandler handler,
                                      RemoteServerModel server_model,
                                      RetryPolicy policy)
-    : channel_(channel), handler_(std::move(handler)),
+    : channel_(channel), endpoint_(std::move(handler)),
       server_model_(server_model), policy_(policy),
       jitter_(policy.jitter_seed) {}
 
@@ -49,31 +98,20 @@ void RetryingTransport::PumpServer() {
     if (!request.ok()) {
       continue;  // checksum discard — the retransmit loop covers it
     }
-    auto xid = PeekXid(ByteSpan(request->data(), request->size()));
-    if (!xid.ok()) {
-      continue;  // unparseable datagram: nothing to reply to
+    auto handled =
+        endpoint_.Handle(ByteSpan(request->data(), request->size()));
+    if (!handled.ok()) {
+      continue;  // unparseable or rejected: nothing to send back
     }
-    if (const std::vector<uint8_t>* cached = reply_cache_.Find(*xid)) {
-      // Duplicate request: resend the cached reply, do NOT re-execute.
+    if (handled->dup_hit) {
       ++stats_.dup_cache_hits;
-      TraceAdd(TraceCounter::kRpcDupCacheHits);
-      channel_->Send(DatagramChannel::Dir::kBtoA,
-                     ByteSpan(cached->data(), cached->size()));
-      continue;
+    } else {
+      ++stats_.dup_cache_misses;
+      // Charge the remote CPU for the one real execution.
+      server_model_.Process(handled->reply->size(), channel_->clock());
     }
-    std::vector<uint8_t> reply;
-    Status st =
-        handler_(ByteSpan(request->data(), request->size()), &reply);
-    if (!st.ok()) {
-      continue;  // malformed request body: drop, as a real server would
-    }
-    ++stats_.dup_cache_misses;
-    TraceAdd(TraceCounter::kRpcDupCacheMisses);
-    // Charge the remote CPU for the one real execution.
-    server_model_.Process(reply.size(), channel_->clock());
-    reply_cache_.Insert(*xid, reply);
     channel_->Send(DatagramChannel::Dir::kBtoA,
-                   ByteSpan(reply.data(), reply.size()));
+                   ByteSpan(handled->reply->data(), handled->reply->size()));
   }
 }
 
@@ -81,15 +119,19 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
                                std::vector<uint8_t>* reply) {
   ++stats_.calls;
   VirtualClock* clock = channel_->clock();
-  const uint64_t deadline = clock->now_nanos() + policy_.deadline_nanos;
-  uint64_t rto = policy_.initial_rto_nanos;
+  ClientCallState call;
+  call.xid = xid;
+  call.request.assign(request.begin(), request.end());
+  call.Arm(policy_, clock->now_nanos());
 
-  for (uint32_t attempt = 1;; ++attempt) {
-    if (attempt > 1) {
+  for (;;) {
+    ++call.attempts;
+    if (call.attempts > 1) {
       ++stats_.retransmits;
       TraceAdd(TraceCounter::kRpcRetransmits);
     }
-    channel_->Send(DatagramChannel::Dir::kAtoB, request);
+    channel_->Send(DatagramChannel::Dir::kAtoB,
+                   ByteSpan(call.request.data(), call.request.size()));
     PumpServer();
 
     // Drain everything the wire delivered before the RTO would fire.
@@ -114,31 +156,36 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
         TraceAdd(TraceCounter::kRpcStaleReplies);
         continue;
       }
+      // The wire and the server advanced the clock while we waited; a
+      // reply that arrives after the deadline is as dead as no reply at
+      // all — the caller already moved on.
+      if (call.DeadlinePassed(clock->now_nanos())) {
+        ++stats_.deadline_expiries;
+        TraceAdd(TraceCounter::kRpcDeadlineExpiries);
+        return DeadlineExceededError(StrFormat(
+            "reply for xid %u arrived after the deadline", xid));
+      }
       *reply = std::move(*datagram);
       return Status::Ok();
     }
 
     // Nothing matched. Give up, or back off and retransmit.
-    if (attempt >= policy_.max_attempts) {
+    if (call.AttemptsExhausted(policy_)) {
       ++stats_.unavailable_failures;
       TraceAdd(TraceCounter::kRpcUnavailableFailures);
       return UnavailableError(StrFormat(
-          "no reply for xid %u after %u attempts", xid, attempt));
+          "no reply for xid %u after %u attempts", xid, call.attempts));
     }
     uint64_t now = clock->now_nanos();
-    if (now >= deadline) {
+    if (call.DeadlinePassed(now)) {
       ++stats_.deadline_expiries;
       TraceAdd(TraceCounter::kRpcDeadlineExpiries);
       return DeadlineExceededError(StrFormat(
-          "deadline passed after %u attempts for xid %u", attempt, xid));
+          "deadline passed after %u attempts for xid %u", call.attempts,
+          xid));
     }
-    // Full backoff plus up to 25% deterministic jitter, clipped so the
-    // wait never overshoots the deadline.
-    uint64_t wait = rto + jitter_.NextBelow(rto / 4 + 1);
-    bool expires = now + wait >= deadline;
-    if (expires) {
-      wait = deadline - now;
-    }
+    bool expires = false;
+    uint64_t wait = call.NextBackoffWait(policy_, &jitter_, now, &expires);
     clock->AdvanceNanos(wait);
     stats_.backoff_nanos += wait;
     TraceAdd(TraceCounter::kRpcBackoffNanos, wait);
@@ -148,7 +195,6 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
       return DeadlineExceededError(StrFormat(
           "deadline passed while backing off for xid %u", xid));
     }
-    rto = std::min(rto * 2, policy_.max_rto_nanos);
   }
 }
 

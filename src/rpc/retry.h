@@ -7,12 +7,20 @@
 //   client: transmit request (xid first) -> wait RTO on the virtual clock
 //           -> retransmit with exponential backoff + deterministic jitter
 //           -> give up with kUnavailable when the attempt budget is spent,
-//              or kDeadlineExceeded when the per-call deadline passes.
+//              or kDeadlineExceeded when the per-call deadline passes
+//              (including when a matching reply lands only after it).
 //   server: every valid request datagram is looked up in an xid-keyed
 //           reply cache. Miss -> execute the work function once, cache and
 //           send the reply. Hit -> resend the cached reply without
 //           re-executing (duplicate suppression: the work function runs at
 //           most once per xid, even when requests arrive twice).
+//
+// Both halves are reusable pieces shared with the pipelined transport
+// (src/rpc/pipeline.h): ClientCallState carries the per-call client state
+// machine (attempt budget, RTO/backoff arithmetic, deadline), and
+// AtMostOnceEndpoint is the server half (reply cache + execute-at-most-
+// once). RetryingTransport composes them into the serial stop-and-wait
+// loop.
 //
 // Degradation is always a Status, never a hang or a double execution:
 //   kUnavailable       retry budget exhausted (nothing came back)
@@ -29,8 +37,8 @@
 #define FLEXRPC_SRC_RPC_RETRY_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -50,24 +58,32 @@ struct RetryPolicy {
   bool retry_on_corrupt = true;  // false: surface checksum loss as kDataLoss
 };
 
-// Bounded server-side xid reply cache (the at-most-once memory). FIFO
-// eviction: old xids age out once `capacity` newer calls completed, which
-// mirrors the fixed-size duplicate caches in real NFS servers.
+// Bounded server-side xid reply cache (the at-most-once memory). LRU
+// eviction: Find and Insert both move the xid to the most-recently-used
+// position, so an xid that is still being retransmitted cannot be pushed
+// out by a burst of newer calls — evicting an in-flight xid would let a
+// late retransmit re-execute the work and break exactly-once execution.
 class ReplyCache {
  public:
   explicit ReplyCache(size_t capacity = 256) : capacity_(capacity) {}
 
-  // nullptr on miss; the cached reply datagram on hit.
-  const std::vector<uint8_t>* Find(uint32_t xid) const;
+  // nullptr on miss; the cached reply datagram on hit. A hit refreshes the
+  // entry's LRU position (which is why Find is not const).
+  const std::vector<uint8_t>* Find(uint32_t xid);
   void Insert(uint32_t xid, std::vector<uint8_t> reply);
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
 
  private:
+  struct Entry {
+    std::vector<uint8_t> reply;
+    std::list<uint32_t>::iterator slot;  // position in order_
+  };
+
   size_t capacity_;
-  std::unordered_map<uint32_t, std::vector<uint8_t>> entries_;
-  std::deque<uint32_t> order_;
+  std::unordered_map<uint32_t, Entry> entries_;
+  std::list<uint32_t> order_;  // front = least recent, back = most recent
 };
 
 // The server side of one endpoint: consumes request datagrams, produces
@@ -76,6 +92,71 @@ class ReplyCache {
 // datagram it cannot parse).
 using DatagramHandler =
     std::function<Status(ByteSpan request, std::vector<uint8_t>* reply)>;
+
+// Server half of the at-most-once state machine, shared by the serial and
+// pipelined transports: deduplicates on xid against the reply cache and
+// runs the handler at most once per xid.
+class AtMostOnceEndpoint {
+ public:
+  struct Handled {
+    uint32_t xid = 0;
+    bool dup_hit = false;  // true: reply came from the cache, not execution
+    // The reply datagram to (re)send. Points into the cache; valid until
+    // the next Handle call.
+    const std::vector<uint8_t>* reply = nullptr;
+  };
+
+  AtMostOnceEndpoint(DatagramHandler handler, size_t cache_capacity = 256)
+      : handler_(std::move(handler)), cache_(cache_capacity) {}
+
+  // Processes one request datagram. Non-OK means the datagram was
+  // unparseable or the handler rejected it — nothing executed beyond the
+  // (at most one) handler attempt, nothing to send.
+  Result<Handled> Handle(ByteSpan request);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }  // == handler executions
+  ReplyCache& cache() { return cache_; }
+
+ private:
+  DatagramHandler handler_;
+  ReplyCache cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Client half of the at-most-once state machine for one call: the attempt
+// budget, the RTO/backoff/jitter arithmetic, and the absolute deadline.
+// The serial transport steps it inside a blocking loop; the pipelined
+// transport steps one per in-flight call from timer events.
+struct ClientCallState {
+  uint32_t xid = 0;
+  std::vector<uint8_t> request;  // owned: retransmits outlive the caller
+  uint32_t attempts = 0;         // transmissions so far
+  uint64_t rto_nanos = 0;
+  uint64_t deadline_nanos = 0;   // absolute, on the virtual clock
+
+  void Arm(const RetryPolicy& policy, uint64_t now_nanos) {
+    attempts = 0;
+    rto_nanos = policy.initial_rto_nanos;
+    deadline_nanos = now_nanos + policy.deadline_nanos;
+  }
+
+  bool AttemptsExhausted(const RetryPolicy& policy) const {
+    return attempts >= policy.max_attempts;
+  }
+
+  bool DeadlinePassed(uint64_t now_nanos) const {
+    return now_nanos >= deadline_nanos;
+  }
+
+  // How long to wait before the next retransmit: the current RTO plus up
+  // to 25% deterministic jitter, clipped so the wait never overshoots the
+  // deadline (`*expires` reports the clip — the wait ends the call).
+  // Doubles the RTO, capped at the policy ceiling.
+  uint64_t NextBackoffWait(const RetryPolicy& policy, Rng* jitter,
+                           uint64_t now_nanos, bool* expires);
+};
 
 class RetryingTransport {
  public:
@@ -112,11 +193,10 @@ class RetryingTransport {
   void PumpServer();
 
   DatagramChannel* channel_;
-  DatagramHandler handler_;
+  AtMostOnceEndpoint endpoint_;
   RemoteServerModel server_model_;
   RetryPolicy policy_;
   Rng jitter_;
-  ReplyCache reply_cache_;
   Stats stats_;
 };
 

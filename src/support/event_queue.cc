@@ -1,0 +1,53 @@
+#include "src/support/event_queue.h"
+
+#include <utility>
+
+namespace flexrpc {
+
+EventQueue::EventId EventQueue::ScheduleAt(uint64_t deadline_nanos,
+                                           std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(HeapEntry{deadline_nanos, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventQueue::EventId EventQueue::ScheduleAfter(uint64_t delay_nanos,
+                                              std::function<void()> fn) {
+  return ScheduleAt(clock_->now_nanos() + delay_nanos, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // The heap entry stays behind and is skipped when popped.
+  return live_.erase(id) != 0;
+}
+
+bool EventQueue::RunNext() {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = live_.find(top.id);
+    if (it == live_.end()) {
+      continue;  // cancelled: tombstone left in the heap
+    }
+    // Detach before running so the callback can schedule/cancel freely.
+    std::function<void()> fn = std::move(it->second);
+    live_.erase(it);
+    if (top.deadline_nanos > clock_->now_nanos()) {
+      clock_->AdvanceNanos(top.deadline_nanos - clock_->now_nanos());
+    }
+    fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::RunUntilIdle(size_t max_events) {
+  size_t ran = 0;
+  while ((max_events == 0 || ran < max_events) && RunNext()) {
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,87 @@
+// EventQueue — a deterministic discrete-event scheduler over a VirtualClock.
+//
+// The lossy-wire transports used to interleave retransmit timers, server
+// processing, and link delays through a lockstep Send/PumpServer loop; an
+// event queue makes that interleaving explicit and reproducible. Each event
+// is a (deadline_nanos, seq, callback) triple ordered by deadline with a
+// FIFO tie-break on seq, so two events due at the same instant always run
+// in the order they were scheduled — the property that makes every trace
+// counter of an event-driven run two-run identical.
+//
+// RunNext advances the clock *to* the popped event's deadline before
+// invoking it. The clock never moves backwards: an event whose deadline is
+// already in the past (because a model charged the clock inline after the
+// event was scheduled) simply runs at the current time. Callbacks may
+// schedule and cancel further events, including re-entrantly.
+
+#ifndef FLEXRPC_SRC_SUPPORT_EVENT_QUEUE_H_
+#define FLEXRPC_SRC_SUPPORT_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/timing.h"
+
+namespace flexrpc {
+
+class EventQueue {
+ public:
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  // `clock` must outlive the queue; every event's deadline is read against
+  // and applied to it.
+  explicit EventQueue(VirtualClock* clock) : clock_(clock) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run once the clock reaches `deadline_nanos`. Events
+  // with equal deadlines run in scheduling order (FIFO tie-break).
+  EventId ScheduleAt(uint64_t deadline_nanos, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay_nanos` after the clock's current time.
+  EventId ScheduleAfter(uint64_t delay_nanos, std::function<void()> fn);
+
+  // Cancels a pending event in O(1). Returns false when the event already
+  // ran, was cancelled before, or never existed.
+  bool Cancel(EventId id);
+
+  // Runs the earliest pending event, advancing the clock to its deadline
+  // first (never backwards). Returns false when no event is pending.
+  bool RunNext();
+
+  // Runs events until none remain, or until `max_events` have been
+  // dispatched (0 = unbounded). Returns the number dispatched.
+  size_t RunUntilIdle(size_t max_events = 0);
+
+  size_t pending() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+  VirtualClock* clock() { return clock_; }
+
+ private:
+  struct HeapEntry {
+    uint64_t deadline_nanos;
+    EventId id;  // monotonically increasing: doubles as the FIFO tie-break
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.deadline_nanos != b.deadline_nanos
+                 ? a.deadline_nanos > b.deadline_nanos
+                 : a.id > b.id;
+    }
+  };
+
+  VirtualClock* clock_;
+  EventId next_id_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // Cancelled events are erased here and lazily skipped when popped.
+  std::unordered_map<EventId, std::function<void()>> live_;
+};
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SUPPORT_EVENT_QUEUE_H_

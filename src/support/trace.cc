@@ -71,6 +71,12 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "rpc.retry.corrupt_replies",
     "rpc.dupcache.hits",
     "rpc.dupcache.misses",
+    "rpc.pipeline.calls",
+    "rpc.pipeline.retransmits",
+    "rpc.pipeline.stale_replies",
+    "rpc.pipeline.out_of_order",
+    "rpc.pipeline.window_stalls",
+    "rpc.pipeline.events",
     "marshal.ops.scalar",
     "marshal.ops.bytes",
     "marshal.ops.string",
@@ -96,6 +102,7 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "net.fault.corrupts",
     "net.fault.extra_delay_nanos",
     "net.checksum_failures",
+    "net.frame_copies",
 };
 
 constexpr std::string_view kHistogramNames[kTraceHistogramCount] = {

@@ -95,6 +95,13 @@ enum class TraceCounter : uint16_t {
   kRpcCorruptReplies,        // rpc.retry.corrupt_replies
   kRpcDupCacheHits,          // rpc.dupcache.hits (at-most-once suppressions)
   kRpcDupCacheMisses,        // rpc.dupcache.misses (work executions)
+  kRpcPipelineCalls,         // rpc.pipeline.calls
+  kRpcPipelineRetransmits,   // rpc.pipeline.retransmits
+  kRpcPipelineStaleReplies,  // rpc.pipeline.stale_replies
+  kRpcPipelineOutOfOrder,    // rpc.pipeline.out_of_order (completions that
+                             //   beat an older in-flight xid)
+  kRpcPipelineWindowStalls,  // rpc.pipeline.window_stalls (waited for a slot)
+  kRpcPipelineEvents,        // rpc.pipeline.events (event-queue dispatches)
 
   // marshal: interpreter opcode mix.
   kMarshalOpScalar,          // marshal.ops.scalar
@@ -126,6 +133,7 @@ enum class TraceCounter : uint16_t {
   kNetFaultCorrupts,         // net.fault.corrupts
   kNetFaultExtraDelayNanos,  // net.fault.extra_delay_nanos (virtual clock)
   kNetChecksumFailures,      // net.checksum_failures (corruption detected)
+  kNetFrameCopies,           // net.frame_copies (frame buffers copied in Send)
 
   kCount,
 };

@@ -21,7 +21,9 @@
 #include "src/apps/nfs.h"
 #include "src/net/datagram.h"
 #include "src/net/fault.h"
+#include "src/rpc/pipeline.h"
 #include "src/rpc/retry.h"
+#include "src/support/event_queue.h"
 #include "src/support/rng.h"
 #include "src/support/trace.h"
 
@@ -192,6 +194,172 @@ TEST(FaultSoakTest, NfsBlackHoleDegradesWithinDeadline) {
               stats.status().code() == StatusCode::kDeadlineExceeded)
       << stats.status().ToString();
   EXPECT_LE(clock.now_nanos(), policy.deadline_nanos + 100'000'000);
+}
+
+// --- pipelined-path interaction matrix (ISSUE 4, satellite 5) -----------
+//
+// The sliding-window transport multiplexes several xids over the same
+// lossy wire, so fault interactions the serial path never sees (a stale
+// reply for an already-completed call racing a fresh one, a reordered
+// duplicate landing mid-retransmit) are exercised here explicitly.
+
+struct PipelinedOutcome {
+  Status status = Status::Ok();
+  NfsClient::ReadStats stats;
+  int max_executions_per_xid = 0;
+  PipelinedTransport::Stats rpc;
+  TraceSnapshot trace;
+  uint64_t virtual_nanos = 0;
+};
+
+PipelinedOutcome RunPipelinedSoak(uint64_t seed, const FaultConfig& to_server,
+                                  const FaultConfig& to_client,
+                                  uint32_t window = 8,
+                                  size_t chunk_bytes = 2048) {
+  TraceSession session;
+
+  NfsFileServer server(kSoakFileSize, /*seed=*/seed);
+  NfsClient client(&server, LinkModel(), RemoteServerModel());
+  VirtualClock clock;
+  DatagramChannel channel(LinkModel(), FaultPlan(to_server),
+                          FaultPlan(to_client), &clock);
+  EventQueue events(&clock);
+
+  std::map<uint32_t, int> executions;
+  DatagramHandler inner = NfsFileServer::MakeHandler(&server);
+  DatagramHandler counting = [&executions, inner](
+                                 ByteSpan request,
+                                 std::vector<uint8_t>* reply) {
+    auto xid = PeekXid(request);
+    if (xid.ok()) {
+      ++executions[*xid];
+    }
+    return inner(request, reply);
+  };
+
+  PipelinePolicy policy;
+  policy.window = window;
+  policy.retry.max_attempts = 12;
+  policy.retry.deadline_nanos = 8'000'000'000;
+  policy.retry.jitter_seed = seed + 1;
+  PipelinedTransport transport(&channel, counting, RemoteServerModel(),
+                               policy, &events);
+
+  PipelinedOutcome outcome;
+  auto stats = client.ReadFilePipelined(
+      NfsClient::StubKind::kGeneratedUserBuffer, &transport, chunk_bytes);
+  if (stats.ok()) {
+    outcome.stats = *stats;
+  } else {
+    outcome.status = stats.status();
+  }
+  for (const auto& [xid, count] : executions) {
+    outcome.max_executions_per_xid =
+        std::max(outcome.max_executions_per_xid, count);
+  }
+  outcome.rpc = transport.stats();
+  outcome.trace = session.Report();
+  outcome.virtual_nanos = clock.now_nanos();
+  return outcome;
+}
+
+TEST(PipelinedFaultMatrixTest, ReorderPlusDuplicateKeepsAtMostOnce) {
+  // Reordering shuffles which in-flight xid's reply lands first;
+  // duplication makes the shuffled frames arrive twice. The window must
+  // still match every reply by xid and the dup cache must absorb the rest.
+  FaultConfig mix;
+  mix.reorder_prob = 0.5;
+  mix.dup_prob = 0.5;
+  mix.seed = 1001;
+  PipelinedOutcome outcome = RunPipelinedSoak(31, mix, mix);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.stats.bytes_read, kSoakFileSize);
+  EXPECT_LE(outcome.max_executions_per_xid, 1);
+  EXPECT_GT(outcome.rpc.dup_cache_hits, 0u);   // duplicates were absorbed
+  EXPECT_EQ(outcome.rpc.dup_cache_misses, outcome.stats.rpc_calls);
+}
+
+TEST(PipelinedFaultMatrixTest, StaleReplyFloodIsCountedAndIgnored) {
+  // Duplicate every reply frame: the first copy completes the call, the
+  // second finds no in-flight entry and must be dropped as stale — never
+  // delivered to a different call's completion.
+  FaultConfig reply_dupper;
+  reply_dupper.dup_prob = 1.0;
+  reply_dupper.seed = 1002;
+  PipelinedOutcome outcome =
+      RunPipelinedSoak(32, FaultConfig{}, reply_dupper);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.stats.bytes_read, kSoakFileSize);
+  EXPECT_LE(outcome.max_executions_per_xid, 1);
+  EXPECT_GT(outcome.rpc.stale_replies, 0u);
+  // Duplicated frames double the reply wire's occupancy, so queueing delay
+  // can push some replies past the RTO — retransmits are allowed, but every
+  // one of them must have been answered from the cache, not re-executed.
+  EXPECT_EQ(outcome.rpc.dup_cache_misses, outcome.stats.rpc_calls);
+}
+
+TEST(PipelinedFaultMatrixTest, CorruptThenRetransmitRecoversViaDupCache) {
+  // Corrupt a good fraction of reply frames. The pipelined path treats a
+  // checksum failure as a drop, so the RTO retransmits and the server's
+  // reply cache answers without re-executing the work function.
+  FaultConfig corruptor;
+  corruptor.corrupt_prob = 0.5;
+  corruptor.seed = 1003;
+  PipelinedOutcome outcome =
+      RunPipelinedSoak(33, FaultConfig{}, corruptor);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.stats.bytes_read, kSoakFileSize);
+  EXPECT_LE(outcome.max_executions_per_xid, 1);
+  EXPECT_GT(outcome.rpc.corrupt_replies, 0u);
+  EXPECT_GT(outcome.rpc.retransmits, 0u);
+  EXPECT_GT(outcome.rpc.dup_cache_hits, 0u);
+}
+
+TEST(PipelinedFaultMatrixTest, SameSeedTwiceMatchesPipelineCounters) {
+  // Two-run determinism, including the rpc.pipeline.* counters: the event
+  // queue's FIFO tie-break plus seeded fault plans make the whole pipelined
+  // soak a pure function of the seed.
+  FaultConfig mix = MixForSeed(5, 0xA2B);
+  FaultConfig reply_mix = MixForSeed(5, 0xB2A);
+  PipelinedOutcome first = RunPipelinedSoak(5, mix, reply_mix);
+  PipelinedOutcome second = RunPipelinedSoak(5, mix, reply_mix);
+  EXPECT_EQ(first.status.code(), second.status.code());
+  EXPECT_EQ(first.virtual_nanos, second.virtual_nanos);
+  for (size_t i = 0; i < kTraceCounterCount; ++i) {
+    EXPECT_EQ(first.trace.counters[i], second.trace.counters[i])
+        << "counter " << TraceCounterName(static_cast<TraceCounter>(i));
+  }
+  EXPECT_GT(first.trace.counters[static_cast<size_t>(
+                TraceCounter::kRpcPipelineCalls)],
+            0u);
+  EXPECT_GT(first.trace.counters[static_cast<size_t>(
+                TraceCounter::kRpcPipelineEvents)],
+            0u);
+}
+
+TEST(PipelinedFaultMatrixTest, NfsDroppedReplyProvesAtMostOncePipelined) {
+  // The serial acceptance scenario, replayed through the window: one reply
+  // datagram eaten, one retransmit, one dup-cache hit, one execution.
+  TraceSession session;
+  NfsFileServer server(kNfsMaxData, /*seed=*/23);
+  NfsClient client(&server, LinkModel(), RemoteServerModel());
+  VirtualClock clock;
+  FaultPlan eater;
+  eater.DropExactly(0, 0);
+  DatagramChannel channel(LinkModel(), FaultPlan(), std::move(eater),
+                          &clock);
+  EventQueue events(&clock);
+  PipelinedTransport transport(&channel, NfsFileServer::MakeHandler(&server),
+                               RemoteServerModel(), PipelinePolicy{},
+                               &events);
+
+  auto stats = client.ReadFilePipelined(
+      NfsClient::StubKind::kGeneratedUserBuffer, &transport);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->bytes_read, kNfsMaxData);
+  EXPECT_EQ(stats->retransmits, 1u);
+  EXPECT_EQ(stats->dup_cache_hits, 1u);
+  EXPECT_EQ(stats->server_executions, 1u);
 }
 
 }  // namespace

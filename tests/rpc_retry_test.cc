@@ -182,18 +182,76 @@ TEST(DatagramChannelTest, EmptyReceiveIsFailedPrecondition) {
   EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
 }
 
-TEST(ReplyCacheTest, FindInsertAndFifoEviction) {
+TEST(ReplyCacheTest, FindInsertAndLruEviction) {
   ReplyCache cache(/*capacity=*/2);
   EXPECT_EQ(cache.Find(1), nullptr);
   cache.Insert(1, {0xAA});
   cache.Insert(2, {0xBB});
+  // The lookup marks xid 1 recently used — a retransmit is probing it.
   ASSERT_NE(cache.Find(1), nullptr);
   EXPECT_EQ((*cache.Find(1))[0], 0xAA);
-  cache.Insert(3, {0xCC});  // evicts xid 1
-  EXPECT_EQ(cache.Find(1), nullptr);
-  ASSERT_NE(cache.Find(2), nullptr);
+  cache.Insert(3, {0xCC});  // evicts xid 2, the least recently used
+  ASSERT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ(cache.Find(2), nullptr);
   ASSERT_NE(cache.Find(3), nullptr);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ReplyCacheTest, InsertOverwriteRefreshesSlot) {
+  ReplyCache cache(/*capacity=*/2);
+  cache.Insert(1, {0xAA});
+  cache.Insert(2, {0xBB});
+  // Overwriting xid 1 must refresh its LRU slot, not leave it the oldest.
+  cache.Insert(1, {0xA1});
+  cache.Insert(3, {0xCC});  // evicts xid 2
+  ASSERT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ((*cache.Find(1))[0], 0xA1);
+  EXPECT_EQ(cache.Find(2), nullptr);
+  ASSERT_NE(cache.Find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Builds a minimal request datagram: big-endian xid plus a marker byte.
+std::vector<uint8_t> XidRequest(uint32_t xid) {
+  return {static_cast<uint8_t>(xid >> 24), static_cast<uint8_t>(xid >> 16),
+          static_cast<uint8_t>(xid >> 8), static_cast<uint8_t>(xid), 0x5A};
+}
+
+TEST(AtMostOnceEndpointTest, LruKeepsRetransmittedXidExactlyOnce) {
+  // Capacity 2 with three live xids: the endpoint must keep the xid that
+  // is still being retransmitted (touched by every duplicate probe) and
+  // evict the idle one. With FIFO eviction xid 1 would age out mid-flight
+  // and its retransmit would re-execute the handler — at-most-once broken.
+  std::map<uint32_t, int> executions;
+  AtMostOnceEndpoint endpoint(
+      [&executions](ByteSpan request, std::vector<uint8_t>* reply) {
+        auto xid = PeekXid(request);
+        if (!xid.ok()) {
+          return xid.status();
+        }
+        ++executions[*xid];
+        reply->assign(request.begin(), request.end());
+        return Status::Ok();
+      },
+      /*cache_capacity=*/2);
+  auto handle = [&endpoint](uint32_t xid) {
+    std::vector<uint8_t> request = XidRequest(xid);
+    return endpoint.Handle(ByteSpan(request.data(), request.size()));
+  };
+
+  ASSERT_TRUE(handle(1).ok());  // executes
+  ASSERT_TRUE(handle(2).ok());  // executes; cache now full
+  auto dup1 = handle(1);        // retransmit of 1 mid-flight: cache hit
+  ASSERT_TRUE(dup1.ok());
+  EXPECT_TRUE(dup1->dup_hit);
+  ASSERT_TRUE(handle(3).ok());  // overflows capacity: must evict idle 2
+  auto dup1_again = handle(1);  // 1 must STILL be suppressed
+  ASSERT_TRUE(dup1_again.ok());
+  EXPECT_TRUE(dup1_again->dup_hit);
+  EXPECT_EQ(executions[1], 1);  // exactly once, despite the overflow
+  EXPECT_EQ(executions[3], 1);
+  EXPECT_EQ(endpoint.hits(), 2u);
+  EXPECT_EQ(endpoint.misses(), 3u);
 }
 
 TEST(PeekXidTest, BigEndianAndTruncation) {
@@ -309,6 +367,22 @@ TEST(RetryingTransportTest, DeadlineExceededOnTheVirtualClock) {
   // in-flight wire time already charged can exceed it only marginally.
   EXPECT_LE(rig.clock.now_nanos() - start,
             policy.deadline_nanos + 10'000'000);
+  EXPECT_GE(rig.transport.stats().deadline_expiries, 1u);
+}
+
+TEST(RetryingTransportTest, LateReplyPastDeadlineIsDeadlineExceeded) {
+  // Regression: Call never rechecked the deadline after Send/PumpServer
+  // advanced the virtual clock, so a reply that arrived long after the
+  // deadline was still returned as OK. With a deadline shorter than one
+  // wire round trip, even a perfect wire delivers the reply too late.
+  RetryPolicy policy;
+  policy.deadline_nanos = 1'000;  // 1 µs: less than any transfer takes
+  EchoRig rig{FaultPlan(), FaultPlan(), policy};
+  std::vector<uint8_t> reply;
+  Status st = rig.Call(40, &reply);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(reply.empty());  // the late reply must not be delivered
+  EXPECT_EQ(rig.executions[40], 1);  // the server did execute it
   EXPECT_GE(rig.transport.stats().deadline_expiries, 1u);
 }
 

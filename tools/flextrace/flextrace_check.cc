@@ -58,9 +58,16 @@ constexpr const char* kGatedCounters[] = {
     "net.fault.reorders",
     "net.fault.corrupts",
     "net.checksum_failures",
+    "net.frame_copies",
     "rpc.retry.retransmits",
     "rpc.dupcache.hits",
     "rpc.dupcache.misses",
+    "rpc.pipeline.calls",
+    "rpc.pipeline.retransmits",
+    "rpc.pipeline.stale_replies",
+    "rpc.pipeline.out_of_order",
+    "rpc.pipeline.window_stalls",
+    "rpc.pipeline.events",
 };
 
 Result<std::string> ReadFile(const std::string& path) {
