@@ -19,6 +19,7 @@
 #include "src/net/datagram.h"
 #include "src/net/fault.h"
 #include "src/rpc/retry.h"
+#include "src/support/recorder.h"
 
 namespace {
 
@@ -170,6 +171,22 @@ int main(int argc, char** argv) {
       PercentMore(clean, rows[1].result.virtual_seconds),
       PercentMore(clean, rows[2].result.virtual_seconds),
       PercentMore(clean, rows[3].result.virtual_seconds));
+
+  if (harness.record()) {
+    // One extra rep of the mixed scenario under a flight-recorder session
+    // (untraced: the gated counters must not see it). Deterministic —
+    // same seeds, virtual stamps only.
+    harness.Untraced([&] {
+      flexrpc::RecorderSession rec_session;
+      (void)RunScenario(kScenarios[2].config, kRunSize);
+      flexrpc::Recording recording = rec_session.Stop();
+      harness.WriteArtifact("REC_fault_nfs.json",
+                            flexrpc::RecordingToJson(recording));
+      harness.WriteArtifact("TRACE_fault_nfs.json",
+                            flexrpc::ExportChromeTrace(recording));
+      return 0;
+    });
+  }
 
   for (const Row& row : rows) {
     std::string key = row.scenario->key;

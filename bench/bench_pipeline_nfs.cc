@@ -23,6 +23,7 @@
 #include "src/net/fault.h"
 #include "src/rpc/pipeline.h"
 #include "src/support/event_queue.h"
+#include "src/support/recorder.h"
 
 namespace {
 
@@ -185,6 +186,23 @@ int main(int argc, char** argv) {
               lossy_serial.virtual_seconds / lossy_windowed.virtual_seconds,
               static_cast<unsigned long long>(
                   lossy_windowed.stats.retransmits));
+
+  if (harness.record()) {
+    // One extra seeded lossy rep under a flight-recorder session. Runs
+    // untraced so the gated counter budgets see nothing; the recording
+    // itself is deterministic (same seeds, virtual stamps only), so two
+    // --record runs produce byte-identical REC artifacts.
+    harness.Untraced([&] {
+      flexrpc::RecorderSession rec_session;
+      (void)RunPipelined(8, 512, kRunSize, LossyMix(), LossyMix());
+      flexrpc::Recording recording = rec_session.Stop();
+      harness.WriteArtifact("REC_pipeline_nfs.json",
+                            flexrpc::RecordingToJson(recording));
+      harness.WriteArtifact("TRACE_pipeline_nfs.json",
+                            flexrpc::ExportChromeTrace(recording));
+      return 0;
+    });
+  }
 
   for (const Row& row : sweep) {
     std::string key = "w" + std::to_string(row.window);

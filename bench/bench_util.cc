@@ -19,6 +19,8 @@ BenchHarness::BenchHarness(std::string name, int* argc, char** argv)
     const char* arg = argv[i];
     if (std::strcmp(arg, "--smoke") == 0) {
       smoke_ = true;
+    } else if (std::strcmp(arg, "--record") == 0) {
+      record_ = true;
     } else if (std::strncmp(arg, "--json_dir=", 11) == 0) {
       json_dir_ = arg + 11;
     } else {
@@ -70,6 +72,22 @@ double BenchHarness::BestOf(int rep_count,
 void BenchHarness::Report(std::string name, double value, std::string unit) {
   results_.push_back(
       BenchResult{std::move(name), value, std::move(unit)});
+}
+
+bool BenchHarness::WriteArtifact(const std::string& filename,
+                                 const std::string& contents) const {
+  std::string path =
+      (json_dir_.empty() ? std::string(".") : json_dir_) + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 int BenchHarness::Finish() {

@@ -90,6 +90,11 @@ struct BenchResult {
 //   --smoke        deterministic scaled-down run: gbench skipped, reps()
 //                  returns 1, calls()/bytes() return their smoke values
 //   --json_dir=P   write the artifact into directory P (default: cwd)
+//   --record       benches that support it run one extra seeded rep under
+//                  a flight-recorder session and write REC_<name>.json
+//                  (+ Chrome trace) next to the bench artifact. The
+//                  recorded rep runs untraced so the gated flextrace
+//                  counter budgets are unaffected.
 class BenchHarness {
  public:
   // `name` is the artifact key: BENCH_<name>.json.
@@ -100,6 +105,7 @@ class BenchHarness {
   BenchHarness& operator=(const BenchHarness&) = delete;
 
   bool smoke() const { return smoke_; }
+  bool record() const { return record_; }
 
   // Iteration-count selectors: full fidelity normally, the fixed reduced
   // count under --smoke.
@@ -145,6 +151,11 @@ class BenchHarness {
   // Adds one figure to the artifact's results array.
   void Report(std::string name, double value, std::string unit);
 
+  // Writes `contents` to <json_dir>/<filename> (recordings, Chrome
+  // traces). Returns false and warns on I/O failure.
+  bool WriteArtifact(const std::string& filename,
+                     const std::string& contents) const;
+
   // Writes BENCH_<name>.json and returns the process exit code.
   int Finish();
 
@@ -152,6 +163,7 @@ class BenchHarness {
   std::string name_;
   std::string json_dir_;
   bool smoke_ = false;
+  bool record_ = false;
   bool finished_ = false;
   std::vector<BenchResult> results_;
   std::optional<flexrpc::TraceSession> session_;

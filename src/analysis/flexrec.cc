@@ -1,0 +1,383 @@
+#include "src/analysis/flexrec.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+// Attribution priority: when intervals overlap, a segment belongs to the
+// lowest-numbered phase covering it. Server exec wins over wire occupancy
+// (the wire event's propagation window spans the whole server visit on a
+// lockstep channel), occupancy wins over propagation, and queued only
+// claims time nothing physical explains.
+enum class Phase : uint8_t {
+  kServerExec = 0,
+  kReqWire,
+  kReplyWire,
+  kReqProp,
+  kReplyProp,
+  kQueued,
+  kCount,
+};
+
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  Phase phase = Phase::kQueued;
+};
+
+struct CallEvents {
+  uint64_t submit = 0;
+  uint64_t complete = 0;
+  bool has_submit = false;
+  bool has_complete = false;
+  uint64_t status_code = 0;
+  uint64_t first_tx = 0;
+  bool has_tx = false;
+  uint64_t pending_server_begin = 0;
+  bool server_open = false;
+  uint32_t attempts = 1;
+  std::vector<Interval> intervals;
+  std::vector<uint64_t> retransmit_times;
+  std::vector<uint64_t> loss_times;  // drops + corruptions, either direction
+};
+
+uint64_t Overlap(uint64_t lo1, uint64_t hi1, uint64_t lo2, uint64_t hi2) {
+  uint64_t lo = std::max(lo1, lo2);
+  uint64_t hi = std::min(hi1, hi2);
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace
+
+RecordingAnalysis AnalyzeRecording(const Recording& recording) {
+  RecordingAnalysis analysis;
+  analysis.dropped_events = recording.dropped_events;
+
+  // Chronological order; recording order is the deterministic tie-break
+  // (server-exec spans are stamped with future timestamps).
+  std::vector<const RecordedEvent*> ordered;
+  ordered.reserve(recording.events.size());
+  for (const RecordedEvent& e : recording.events) {
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RecordedEvent* a, const RecordedEvent* b) {
+                     return a->virtual_nanos < b->virtual_nanos;
+                   });
+  if (!ordered.empty()) {
+    analysis.span_nanos =
+        ordered.back()->virtual_nanos - ordered.front()->virtual_nanos;
+  }
+
+  std::map<uint32_t, CallEvents> calls;  // keyed by xid
+  std::vector<uint32_t> submit_order;
+
+  for (const RecordedEvent* ep : ordered) {
+    const RecordedEvent& e = *ep;
+    CallEvents& call = calls[e.xid];
+    switch (e.type) {
+      case RecEvent::kCallSubmit:
+        call.submit = e.virtual_nanos;
+        call.has_submit = true;
+        submit_order.push_back(e.xid);
+        break;
+      case RecEvent::kCallComplete:
+        call.complete = e.virtual_nanos;
+        call.has_complete = true;
+        call.status_code = e.a;
+        break;
+      case RecEvent::kWireTx: {
+        bool request = e.endpoint == RecEndpoint::kWireAtoB;
+        uint64_t occupancy_end = e.virtual_nanos + e.a;
+        call.intervals.push_back({e.virtual_nanos, occupancy_end,
+                                  request ? Phase::kReqWire
+                                          : Phase::kReplyWire});
+        call.intervals.push_back({occupancy_end, occupancy_end + e.b,
+                                  request ? Phase::kReqProp
+                                          : Phase::kReplyProp});
+        if (request && (!call.has_tx || e.virtual_nanos < call.first_tx)) {
+          call.first_tx = e.virtual_nanos;
+          call.has_tx = true;
+        }
+        break;
+      }
+      case RecEvent::kServerExecBegin:
+        call.pending_server_begin = e.virtual_nanos;
+        call.server_open = true;
+        break;
+      case RecEvent::kServerExecEnd:
+        if (call.server_open) {
+          call.intervals.push_back({call.pending_server_begin,
+                                    e.virtual_nanos, Phase::kServerExec});
+          call.server_open = false;
+        }
+        break;
+      case RecEvent::kRetransmit:
+        call.retransmit_times.push_back(e.virtual_nanos);
+        call.attempts = std::max(call.attempts,
+                                 static_cast<uint32_t>(e.a));
+        break;
+      case RecEvent::kFaultDrop:
+      case RecEvent::kFaultCorrupt:
+        call.loss_times.push_back(e.virtual_nanos);
+        break;
+      default:
+        break;  // marshal spans are zero-width in virtual time; instants
+                // (dup, delay, rto_fire, reply dispositions) carry no
+                // attributable duration of their own
+    }
+  }
+
+  for (uint32_t xid : submit_order) {
+    CallEvents& call = calls[xid];
+    CallBreakdown out;
+    out.xid = xid;
+    out.submit_nanos = call.submit;
+    out.attempts = call.attempts;
+    out.complete = call.has_complete;
+
+    // Retransmit cause: each retransmit consumes the earliest unconsumed
+    // recorded loss (drop or corruption, request or reply direction) that
+    // precedes it. A retransmit with no loss to blame is a spurious RTO —
+    // the timer fired although every frame was healthy, just slow.
+    std::sort(call.loss_times.begin(), call.loss_times.end());
+    size_t next_loss = 0;
+    for (uint64_t rt : call.retransmit_times) {
+      if (next_loss < call.loss_times.size() &&
+          call.loss_times[next_loss] <= rt) {
+        ++next_loss;
+        ++out.drop_induced_retransmits;
+      } else {
+        ++out.spurious_retransmits;
+      }
+    }
+    analysis.total_retransmits += call.retransmit_times.size();
+    analysis.drop_induced_retransmits += out.drop_induced_retransmits;
+    analysis.spurious_retransmits += out.spurious_retransmits;
+
+    if (call.has_complete) {
+      ++analysis.completed_calls;
+      if (call.status_code != 0) {
+        ++analysis.failed_calls;
+      }
+      out.status_code = call.status_code;
+      out.total_nanos = call.complete - call.submit;
+
+      if (call.has_tx && call.first_tx > call.submit) {
+        call.intervals.push_back(
+            {call.submit, call.first_tx, Phase::kQueued});
+      }
+
+      // Elementary-segment sweep: split [submit, complete] at every
+      // interval boundary and give each segment to the highest-priority
+      // phase covering it. Segments no interval covers are wait. The
+      // phase nanos sum to total_nanos exactly because every segment is
+      // counted once.
+      std::vector<uint64_t> cuts;
+      cuts.push_back(call.submit);
+      cuts.push_back(call.complete);
+      for (const Interval& iv : call.intervals) {
+        if (iv.hi > call.submit && iv.lo < call.complete) {
+          cuts.push_back(std::max(iv.lo, call.submit));
+          cuts.push_back(std::min(iv.hi, call.complete));
+        }
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+      uint64_t phase_nanos[static_cast<size_t>(Phase::kCount)] = {};
+      for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+        uint64_t lo = cuts[i];
+        uint64_t hi = cuts[i + 1];
+        Phase best = Phase::kCount;
+        for (const Interval& iv : call.intervals) {
+          if (iv.lo <= lo && iv.hi >= hi && iv.phase < best) {
+            best = iv.phase;
+          }
+        }
+        if (best == Phase::kCount) {
+          out.wait_nanos += hi - lo;
+        } else {
+          phase_nanos[static_cast<size_t>(best)] += hi - lo;
+        }
+      }
+      out.server_exec_nanos =
+          phase_nanos[static_cast<size_t>(Phase::kServerExec)];
+      out.req_wire_nanos = phase_nanos[static_cast<size_t>(Phase::kReqWire)];
+      out.reply_wire_nanos =
+          phase_nanos[static_cast<size_t>(Phase::kReplyWire)];
+      out.req_prop_nanos = phase_nanos[static_cast<size_t>(Phase::kReqProp)];
+      out.reply_prop_nanos =
+          phase_nanos[static_cast<size_t>(Phase::kReplyProp)];
+      out.queued_nanos = phase_nanos[static_cast<size_t>(Phase::kQueued)];
+    }
+    analysis.calls.push_back(out);
+  }
+
+  // Window occupancy counts calls actually in flight on the transport —
+  // from first transmission (the pipelined path queues submissions behind
+  // a full window, so submit time would overstate occupancy) until
+  // completion. A call that never completed stays counted to the end.
+  std::vector<std::pair<uint64_t, int>> edges;  // (time, +1/-1)
+  for (const auto& [xid, call] : calls) {
+    if (!call.has_tx) {
+      continue;
+    }
+    edges.emplace_back(call.first_tx, 1);
+    if (call.has_complete) {
+      edges.emplace_back(call.complete, -1);
+    }
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  uint32_t in_flight = 0;
+  for (const auto& [at, delta] : edges) {
+    in_flight = static_cast<uint32_t>(static_cast<int>(in_flight) + delta);
+    analysis.max_in_flight = std::max(analysis.max_in_flight, in_flight);
+    analysis.window.push_back({at, in_flight});
+  }
+  return analysis;
+}
+
+namespace {
+
+// Time-weighted mean in-flight count per bucket, one character each:
+// '.' = idle, '1'..'9', '+' = ten or more.
+std::string WindowSparkline(const RecordingAnalysis& analysis,
+                            size_t buckets) {
+  if (analysis.window.empty() || analysis.span_nanos == 0) {
+    return std::string(buckets, '.');
+  }
+  uint64_t begin = analysis.window.front().at_nanos;
+  uint64_t end = analysis.window.back().at_nanos;
+  if (end <= begin) {
+    return std::string(buckets, '.');
+  }
+  uint64_t span = end - begin;
+  std::string out;
+  for (size_t b = 0; b < buckets; ++b) {
+    uint64_t lo = begin + span * b / buckets;
+    uint64_t hi = begin + span * (b + 1) / buckets;
+    if (hi <= lo) {
+      hi = lo + 1;
+    }
+    // Integrate the step function over [lo, hi).
+    uint64_t weighted = 0;
+    for (size_t i = 0; i < analysis.window.size(); ++i) {
+      uint64_t seg_lo = analysis.window[i].at_nanos;
+      uint64_t seg_hi = i + 1 < analysis.window.size()
+                            ? analysis.window[i + 1].at_nanos
+                            : end;
+      weighted += analysis.window[i].in_flight *
+                  Overlap(seg_lo, seg_hi, lo, hi);
+    }
+    uint64_t mean = (weighted + (hi - lo) / 2) / (hi - lo);
+    out.push_back(mean == 0 ? '.'
+                  : mean > 9 ? '+'
+                             : static_cast<char>('0' + mean));
+  }
+  return out;
+}
+
+double Pct(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::string RenderReport(const RecordingAnalysis& analysis,
+                         size_t max_call_rows) {
+  std::string out;
+  out += "flexrec report\n";
+  out += "==============\n";
+  out += StrFormat(
+      "calls: %zu submitted, %llu completed (%llu failed), "
+      "max in flight %u\n",
+      analysis.calls.size(),
+      static_cast<unsigned long long>(analysis.completed_calls),
+      static_cast<unsigned long long>(analysis.failed_calls),
+      analysis.max_in_flight);
+  out += StrFormat("virtual span: %.6f s\n",
+                   static_cast<double>(analysis.span_nanos) * 1e-9);
+  if (analysis.dropped_events > 0) {
+    out += StrFormat(
+        "WARNING: recording truncated, %llu oldest events dropped\n",
+        static_cast<unsigned long long>(analysis.dropped_events));
+  }
+  out += StrFormat(
+      "retransmits: %llu (drop-induced %llu, spurious RTO %llu)\n",
+      static_cast<unsigned long long>(analysis.total_retransmits),
+      static_cast<unsigned long long>(analysis.drop_induced_retransmits),
+      static_cast<unsigned long long>(analysis.spurious_retransmits));
+
+  // Aggregate phase budget over completed calls.
+  uint64_t sums[8] = {};
+  for (const CallBreakdown& c : analysis.calls) {
+    if (!c.complete) {
+      continue;
+    }
+    sums[0] += c.queued_nanos;
+    sums[1] += c.req_wire_nanos;
+    sums[2] += c.req_prop_nanos;
+    sums[3] += c.server_exec_nanos;
+    sums[4] += c.reply_wire_nanos;
+    sums[5] += c.reply_prop_nanos;
+    sums[6] += c.wait_nanos;
+    sums[7] += c.total_nanos;
+  }
+  static constexpr const char* kPhaseLabels[7] = {
+      "queued",     "req wire",   "req propagation", "server exec",
+      "reply wire", "reply prop", "wait (rto/queue)"};
+  out += "\nper-call virtual time, summed over completed calls\n";
+  for (int i = 0; i < 7; ++i) {
+    out += StrFormat("  %-16s %14.6f s  (%5.1f%%)\n", kPhaseLabels[i],
+                     static_cast<double>(sums[i]) * 1e-9,
+                     Pct(sums[i], sums[7]));
+  }
+  out += StrFormat("  %-16s %14.6f s\n", "total",
+                   static_cast<double>(sums[7]) * 1e-9);
+
+  out += "\nwindow occupancy ('.'=idle, 1-9 in-flight, '+'=10 or more)\n";
+  out += "  [" + WindowSparkline(analysis, 48) + "]\n";
+
+  out += "\nper-call breakdown (microseconds)\n";
+  out += StrFormat("  %8s %10s %8s %8s %8s %8s %8s %8s %8s %4s %6s %6s\n",
+                   "xid", "total", "queued", "reqwire", "reqprop", "server",
+                   "repwire", "repprop", "wait", "att", "rex:dr", "rex:sp");
+  size_t rows = 0;
+  for (const CallBreakdown& c : analysis.calls) {
+    if (rows >= max_call_rows) {
+      out += StrFormat("  ... %zu more calls\n",
+                       analysis.calls.size() - rows);
+      break;
+    }
+    ++rows;
+    if (!c.complete) {
+      out += StrFormat("  %8u %10s (never completed)\n", c.xid, "-");
+      continue;
+    }
+    auto us = [](uint64_t nanos) {
+      return static_cast<double>(nanos) * 1e-3;
+    };
+    out += StrFormat(
+        "  %8u %10.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %4u "
+        "%6u %6u%s\n",
+        c.xid, us(c.total_nanos), us(c.queued_nanos), us(c.req_wire_nanos),
+        us(c.req_prop_nanos), us(c.server_exec_nanos),
+        us(c.reply_wire_nanos), us(c.reply_prop_nanos), us(c.wait_nanos),
+        c.attempts, c.drop_induced_retransmits, c.spurious_retransmits,
+        c.status_code != 0 ? "  FAILED" : "");
+  }
+  return out;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,90 @@
+// flexrec analysis — latency attribution over flight-recorder timelines.
+//
+// A recording (src/support/recorder.h) is a flat event stream; this layer
+// turns it into answers: where did each call's virtual time go, which
+// retransmits were caused by the wire and which by a too-eager RTO, and
+// how full the pipeline window actually was over the run.
+//
+// Attribution is exact by construction. For every completed call the
+// analyzer builds labeled virtual-time intervals from the call's events —
+// queued-before-first-transmit, request wire occupancy, request
+// propagation, server execution, reply wire occupancy, reply propagation —
+// clips them to [submit, complete], splits the call's lifetime into
+// elementary segments at interval boundaries, and assigns each segment to
+// exactly one phase by a fixed priority (server exec wins over wire
+// occupancy wins over propagation wins over queued). Whatever no interval
+// covers is retransmit/backoff wait. The per-phase nanos therefore sum to
+// complete - submit exactly — the invariant the recorder tests gate on.
+
+#ifndef FLEXRPC_SRC_ANALYSIS_FLEXREC_H_
+#define FLEXRPC_SRC_ANALYSIS_FLEXREC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/recorder.h"
+
+namespace flexrpc {
+
+// One call's virtual-time budget. The six phase fields plus wait_nanos sum
+// to total_nanos for every call with a matched submit/complete pair.
+struct CallBreakdown {
+  uint32_t xid = 0;
+  bool complete = false;       // saw both kCallSubmit and kCallComplete
+  uint64_t status_code = 0;    // StatusCode of the completion (0 = ok)
+  uint64_t submit_nanos = 0;
+  uint64_t total_nanos = 0;    // complete - submit
+
+  uint64_t queued_nanos = 0;       // submitted but not yet on the wire
+  uint64_t req_wire_nanos = 0;     // request frames occupying the wire
+  uint64_t req_prop_nanos = 0;     // request propagation + handling delay
+  uint64_t server_exec_nanos = 0;  // modeled server CPU
+  uint64_t reply_wire_nanos = 0;   // reply frames occupying the wire
+  uint64_t reply_prop_nanos = 0;   // reply propagation + handling delay
+  uint64_t wait_nanos = 0;  // uncovered: RTO backoff, lost-frame gaps,
+                            // server queueing behind earlier calls
+
+  uint32_t attempts = 1;               // 1 + retransmits
+  uint32_t drop_induced_retransmits = 0;  // consumed a recorded loss
+  uint32_t spurious_retransmits = 0;      // fired with no loss to blame
+};
+
+// In-flight call count change point (a first transmission or a
+// completion — submission time would overstate occupancy on the pipelined
+// path, which queues submissions behind a full window).
+struct WindowSample {
+  uint64_t at_nanos = 0;
+  uint32_t in_flight = 0;
+};
+
+struct RecordingAnalysis {
+  std::vector<CallBreakdown> calls;  // in submission order
+  std::vector<WindowSample> window;  // occupancy timeline, change points
+
+  uint64_t dropped_events = 0;  // recording truncation carried through
+  uint32_t max_in_flight = 0;
+  uint64_t span_nanos = 0;  // last event time - first event time
+
+  // Aggregates over completed calls.
+  uint64_t completed_calls = 0;
+  uint64_t failed_calls = 0;  // completed with non-ok status
+  uint64_t total_retransmits = 0;
+  uint64_t drop_induced_retransmits = 0;
+  uint64_t spurious_retransmits = 0;
+};
+
+// Attributes every call in the recording. Deterministic: same recording,
+// same analysis.
+RecordingAnalysis AnalyzeRecording(const Recording& recording);
+
+// Renders the analysis as a fixed-width text report: aggregate summary,
+// retransmit cause classification, a window-occupancy timeline, and a
+// per-call phase table (capped at max_call_rows rows; pass SIZE_MAX for
+// all). Output is deterministic — CI runs it as a smoke check.
+std::string RenderReport(const RecordingAnalysis& analysis,
+                         size_t max_call_rows = 32);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_ANALYSIS_FLEXREC_H_

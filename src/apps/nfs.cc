@@ -7,6 +7,7 @@
 #include "src/marshal/layout.h"
 #include "src/marshal/xdr.h"
 #include "src/net/sunrpc.h"
+#include "src/support/recorder.h"
 #include "src/support/rng.h"
 #include "src/support/strings.h"
 
@@ -356,6 +357,8 @@ Result<NfsClient::ReadStats> NfsClient::ReadFile(StubKind kind) {
     ChunkArgs chunk{fh, static_cast<uint32_t>(offset), count,
                     user_buffer + offset};
     uint32_t xid = next_xid_++;
+    // Attribute this chunk's marshal work to its xid (flight recorder).
+    RecorderCallScope rec_scope(xid, &vclock);
 
     // --- client-side marshal (measured) ---
     XdrWriter request;
@@ -420,6 +423,10 @@ Result<NfsClient::ReadStats> NfsClient::ReadFileLossy(
     ChunkArgs chunk{fh, static_cast<uint32_t>(offset), count,
                     user_buffer + offset};
     uint32_t xid = next_xid_++;
+    // Attribute this chunk's marshal work to its xid: the encode records
+    // at submission time, the decode after the transport advanced the
+    // clock to the reply's arrival.
+    RecorderCallScope rec_scope(xid, rpc->clock());
 
     // --- client-side marshal (measured) ---
     XdrWriter request;
@@ -501,13 +508,17 @@ Result<NfsClient::ReadStats> NfsClient::ReadFilePipelined(
     EncodeSunRpcCall(&request,
                      SunRpcCall{xid, kNfsProgram, kNfsVersion,
                                 kNfsProcRead});
-    FLEXRPC_ASSIGN_OR_RETURN(uint32_t unused,
-                             EncodeRequest(kind, chunk, &request));
-    (void)unused;
+    {
+      // Attribute the encode to its xid (flight recorder).
+      RecorderCallScope rec_scope(xid, rpc->clock());
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t unused,
+                               EncodeRequest(kind, chunk, &request));
+      (void)unused;
+    }
     client_seconds += encode_timer.ElapsedSeconds();
 
     rpc->Submit(xid, request.span(),
-                [this, kind, xid, chunk, &stats, &client_seconds,
+                [this, kind, xid, chunk, rpc, &stats, &client_seconds,
                  &first_error](Status st, std::vector<uint8_t> reply) {
                   if (!st.ok()) {
                     if (first_error.ok()) {
@@ -515,6 +526,9 @@ Result<NfsClient::ReadStats> NfsClient::ReadFilePipelined(
                     }
                     return;
                   }
+                  // The decode runs at completion time, deep inside
+                  // Drive(); the scope re-attributes it to this xid.
+                  RecorderCallScope rec_scope(xid, rpc->clock());
                   // --- client-side unmarshal + delivery (measured) ---
                   Stopwatch decode_timer;
                   XdrReader reader(ByteSpan(reply.data(), reply.size()));

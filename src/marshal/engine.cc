@@ -6,6 +6,7 @@
 #include "src/marshal/layout.h"
 #include "src/marshal/value.h"
 #include "src/pdl/apply.h"
+#include "src/support/recorder.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
@@ -197,8 +198,23 @@ uint32_t MarshalProgram::EffectiveLength(const ParamPresentation* pres,
 
 Status MarshalProgram::MarshalRequest(const ArgVec& args, WireWriter* w,
                                       const SpecialOps* special) const {
+  // The engine has no call identity of its own; it records only when the
+  // caller opened a RecorderCallScope (src/apps/nfs.cc does, around each
+  // stub invocation). Marshal work is host CPU, so the span is zero-width
+  // in virtual time — its wall stamps still separate begin from end.
+  const bool record = RecorderEnabled() && RecorderCallScope::Active();
+  if (record) {
+    RecordEvent(RecEvent::kMarshalBegin, RecEndpoint::kClient,
+                RecorderCallScope::CurrentXid(),
+                RecorderCallScope::CurrentVirtualNanos());
+  }
   for (const Item& item : request_items_) {
     FLEXRPC_RETURN_IF_ERROR(MarshalItem(item, args, w, special));
+  }
+  if (record) {
+    RecordEvent(RecEvent::kMarshalEnd, RecEndpoint::kClient,
+                RecorderCallScope::CurrentXid(),
+                RecorderCallScope::CurrentVirtualNanos());
   }
   return Status::Ok();
 }
@@ -229,11 +245,22 @@ Status MarshalProgram::MarshalReply(const ArgVec& args, WireWriter* w,
 Status MarshalProgram::UnmarshalReply(WireReader* r, Arena* arena,
                                       ArgVec* args,
                                       const SpecialOps* special) const {
+  const bool record = RecorderEnabled() && RecorderCallScope::Active();
+  if (record) {
+    RecordEvent(RecEvent::kMarshalBegin, RecEndpoint::kClient,
+                RecorderCallScope::CurrentXid(),
+                RecorderCallScope::CurrentVirtualNanos(), /*a=*/1);
+  }
   for (const Item& item : reply_items_) {
     // Never borrow on the client: the reply buffer is released as soon as
     // the stub returns.
     FLEXRPC_RETURN_IF_ERROR(
         UnmarshalItem(item, r, arena, args, special, /*borrow_bytes=*/false));
+  }
+  if (record) {
+    RecordEvent(RecEvent::kMarshalEnd, RecEndpoint::kClient,
+                RecorderCallScope::CurrentXid(),
+                RecorderCallScope::CurrentVirtualNanos(), /*a=*/1);
   }
   return Status::Ok();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/recorder.h"
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -9,6 +10,33 @@ namespace flexrpc {
 namespace {
 constexpr uint32_t kFrameMagic = 0x46444D31;  // "FDM1"
 constexpr size_t kHeaderSize = 16;            // magic, seq, length, checksum
+
+// The payload is a SunRPC message whose first word is the xid, so the
+// channel can attribute wire and fault events to a call without the
+// transport plumbing identity down. Returns 0 (unattributed) for frames
+// too short to carry one.
+uint32_t PeekPayloadXid(const uint8_t* payload, size_t size) {
+  if (size < 4) {
+    return 0;
+  }
+  return (static_cast<uint32_t>(payload[0]) << 24) |
+         (static_cast<uint32_t>(payload[1]) << 16) |
+         (static_cast<uint32_t>(payload[2]) << 8) |
+         static_cast<uint32_t>(payload[3]);
+}
+
+uint32_t PeekFrameXid(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kHeaderSize) {
+    return 0;
+  }
+  return PeekPayloadXid(frame.data() + kHeaderSize,
+                        frame.size() - kHeaderSize);
+}
+
+RecEndpoint WireEndpoint(DatagramChannel::Dir dir) {
+  return dir == DatagramChannel::Dir::kAtoB ? RecEndpoint::kWireAtoB
+                                            : RecEndpoint::kWireBtoA;
+}
 }  // namespace
 
 uint32_t DatagramChecksum(ByteSpan payload) {
@@ -29,6 +57,9 @@ DatagramChannel::DatagramChannel(LinkModel link, FaultPlan plan_a_to_b,
 
 void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
                                const FaultPlan::Decision& d) {
+  const uint32_t rec_xid =
+      RecorderEnabled() ? PeekFrameXid(bytes) : 0;
+  const RecEndpoint rec_ep = WireEndpoint(dir);
   uint64_t deliver_at = 0;
   if (scheduled_) {
     // The frame occupies the wire from when the medium frees up; latency
@@ -39,14 +70,25 @@ void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
     wire_free = start + link_.OccupancyNanos(bytes.size());
     deliver_at =
         wire_free + link_.LatencyNanos(bytes.size()) + d.extra_delay_nanos;
+    RecordEvent(RecEvent::kWireTx, rec_ep, rec_xid, start,
+                /*a=*/wire_free - start, /*b=*/deliver_at - wire_free);
   } else {
     // Lockstep: the frame occupies the wire whether or not it arrives,
     // charged to the shared clock right now.
+    RecordEvent(RecEvent::kWireTx, rec_ep, rec_xid, clock_->now_nanos(),
+                /*a=*/link_.OccupancyNanos(bytes.size()),
+                /*b=*/link_.LatencyNanos(bytes.size()));
     link_.Transfer(bytes.size(), clock_);
+  }
+  if (d.extra_delay_nanos > 0) {
+    RecordEvent(RecEvent::kFaultDelay, rec_ep, rec_xid, clock_->now_nanos(),
+                /*a=*/d.extra_delay_nanos, /*b=*/d.index);
   }
   if (d.drop) {
     ++stats_.dropped;
     TraceAdd(TraceCounter::kNetFaultDrops);
+    RecordEvent(RecEvent::kFaultDrop, rec_ep, rec_xid, clock_->now_nanos(),
+                /*a=*/0, /*b=*/d.index);
     return;
   }
   Frame frame;
@@ -65,6 +107,8 @@ void DatagramChannel::Transmit(Dir dir, std::vector<uint8_t> bytes,
     frame.bytes[pos] ^= 0xFF;
     ++stats_.corrupted;
     TraceAdd(TraceCounter::kNetFaultCorrupts);
+    RecordEvent(RecEvent::kFaultCorrupt, rec_ep, rec_xid,
+                clock_->now_nanos(), /*a=*/0, /*b=*/d.index);
   }
   auto& queue = queues_[static_cast<size_t>(dir)];
   if (d.reorder && !queue.empty()) {
@@ -95,6 +139,9 @@ void DatagramChannel::Send(Dir dir, ByteSpan payload) {
     ++stats_.duplicated;
     TraceAdd(TraceCounter::kNetFaultDups);
     TraceAdd(TraceCounter::kNetFrameCopies);
+    RecordEvent(RecEvent::kFaultDup, WireEndpoint(dir),
+                RecorderEnabled() ? PeekFrameXid(bytes) : 0,
+                clock_->now_nanos(), /*a=*/0, /*b=*/d.index);
     // The duplicate travels as its own physical frame with no further
     // faults of its own (the plan decided this packet, not the copy).
     Transmit(dir, bytes, FaultPlan::Decision{});
@@ -156,6 +203,9 @@ Result<std::vector<uint8_t>> DatagramChannel::Receive(Dir dir) {
   }
   ++stats_.delivered;
   TraceAdd(TraceCounter::kNetDatagramsDelivered);
+  RecordEvent(RecEvent::kWireRx, WireEndpoint(dir),
+              RecorderEnabled() ? PeekPayloadXid(payload.data(), *length) : 0,
+              clock_->now_nanos(), /*a=*/*length);
   return std::vector<uint8_t>(payload.begin(), payload.end());
 }
 

@@ -12,6 +12,7 @@ void FaultPlan::DropExactly(uint64_t first, uint64_t last) {
 FaultPlan::Decision FaultPlan::Next() {
   uint64_t index = next_index_++;
   Decision d;
+  d.index = index;
   if (probabilistic_) {
     // Fixed draw schedule: five uniforms and one salt per packet, consumed
     // whether or not each fault fires, so decision #n is a pure function

@@ -51,6 +51,9 @@ class FaultPlan {
     bool corrupt = false;
     uint64_t extra_delay_nanos = 0;
     uint64_t corrupt_salt = 0;  // picks the flipped byte position
+    uint64_t index = 0;  // 0-based packet index this decision applies to;
+                         // lets the flight recorder attribute a fault to
+                         // "decision #n of this plan"
   };
 
   // Consumes the decision for the next packet. Drop wins over the other

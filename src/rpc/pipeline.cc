@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/support/recorder.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
@@ -40,6 +41,8 @@ void PipelinedTransport::Submit(uint32_t xid, ByteSpan request,
                                 Completion done) {
   ++stats_.calls;
   TraceAdd(TraceCounter::kRpcPipelineCalls);
+  RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, xid,
+              events_->clock()->now_nanos(), /*a=*/request.size());
   PendingCall pending;
   pending.call.xid = xid;
   pending.call.request.assign(request.begin(), request.end());
@@ -75,6 +78,8 @@ void PipelinedTransport::TransmitCall(InFlight& f) {
   if (f.call.attempts > 1) {
     ++stats_.retransmits;
     TraceAdd(TraceCounter::kRpcPipelineRetransmits);
+    RecordEvent(RecEvent::kRetransmit, RecEndpoint::kClient, f.call.xid,
+                events_->clock()->now_nanos(), /*a=*/f.call.attempts);
   }
   channel_->Send(kAtoB,
                  ByteSpan(f.call.request.data(), f.call.request.size()));
@@ -96,6 +101,8 @@ void PipelinedTransport::OnRto(uint32_t xid) {
   }
   InFlight& f = it->second;
   f.rto_event = EventQueue::kInvalidEvent;
+  RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, xid,
+              events_->clock()->now_nanos(), /*a=*/f.call.attempts);
   if (f.call.AttemptsExhausted(policy_.retry)) {
     Complete(xid, UnavailableError(StrFormat(
                       "no reply for xid %u after %u attempts", xid,
@@ -175,9 +182,15 @@ void PipelinedTransport::PumpServerSide() {
     // behind each other on the busy-until horizon, and the reply enters
     // the wire only when this one finishes.
     uint64_t now = events_->clock()->now_nanos();
-    uint64_t finish = std::max(now, server_free_nanos_) +
-                      server_model_.ProcessNanos(handled->reply->size());
+    uint64_t start = std::max(now, server_free_nanos_);
+    uint64_t finish = start + server_model_.ProcessNanos(handled->reply->size());
     server_free_nanos_ = finish;
+    // The modeled CPU span lies in the clock's future; the recorder takes
+    // explicit timestamps for exactly this reason.
+    RecordEvent(RecEvent::kServerExecBegin, RecEndpoint::kServer,
+                handled->xid, start, /*a=*/handled->reply->size());
+    RecordEvent(RecEvent::kServerExecEnd, RecEndpoint::kServer,
+                handled->xid, finish, /*a=*/handled->reply->size());
     Schedule(finish, [this, reply = *handled->reply]() {
       channel_->Send(kBtoA, ByteSpan(reply.data(), reply.size()));
       ArmClientPoll();
@@ -208,15 +221,21 @@ void PipelinedTransport::DrainReplies() {
       // A late duplicate of a call that already completed (or failed).
       ++stats_.stale_replies;
       TraceAdd(TraceCounter::kRpcPipelineStaleReplies);
+      RecordEvent(RecEvent::kReplyStale, RecEndpoint::kClient, *xid,
+                  events_->clock()->now_nanos());
       continue;
     }
     if (it->second.call.DeadlinePassed(events_->clock()->now_nanos())) {
+      RecordEvent(RecEvent::kReplyLate, RecEndpoint::kClient, *xid,
+                  events_->clock()->now_nanos());
       Complete(*xid, DeadlineExceededError(StrFormat(
                          "reply for xid %u arrived after the deadline",
                          *xid)),
                {});
       continue;
     }
+    RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid,
+                events_->clock()->now_nanos(), /*a=*/datagram->size());
     Complete(*xid, Status::Ok(), std::move(*datagram));
   }
   ArmClientPoll();  // more replies may still be in flight
@@ -246,6 +265,9 @@ void PipelinedTransport::Complete(uint32_t xid, Status status,
     ++stats_.deadline_expiries;
     TraceAdd(TraceCounter::kRpcDeadlineExpiries);
   }
+  RecordEvent(RecEvent::kCallComplete, RecEndpoint::kClient, xid,
+              events_->clock()->now_nanos(),
+              /*a=*/static_cast<uint64_t>(status.code()));
   Completion done = std::move(it->second.done);
   in_flight_.erase(it);
   StartNext();  // the freed slot admits the next queued call

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/recorder.h"
 #include "src/support/strings.h"
 #include "src/support/trace.h"
 
@@ -108,7 +109,13 @@ void RetryingTransport::PumpServer() {
     } else {
       ++stats_.dup_cache_misses;
       // Charge the remote CPU for the one real execution.
+      RecordEvent(RecEvent::kServerExecBegin, RecEndpoint::kServer,
+                  handled->xid, channel_->clock()->now_nanos(),
+                  /*a=*/handled->reply->size());
       server_model_.Process(handled->reply->size(), channel_->clock());
+      RecordEvent(RecEvent::kServerExecEnd, RecEndpoint::kServer,
+                  handled->xid, channel_->clock()->now_nanos(),
+                  /*a=*/handled->reply->size());
     }
     channel_->Send(DatagramChannel::Dir::kBtoA,
                    ByteSpan(handled->reply->data(), handled->reply->size()));
@@ -119,6 +126,14 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
                                std::vector<uint8_t>* reply) {
   ++stats_.calls;
   VirtualClock* clock = channel_->clock();
+  RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, xid,
+              clock->now_nanos(), /*a=*/request.size());
+  // Every exit path stamps the call's completion with its status code.
+  auto complete = [&](Status st) {
+    RecordEvent(RecEvent::kCallComplete, RecEndpoint::kClient, xid,
+                clock->now_nanos(), /*a=*/static_cast<uint64_t>(st.code()));
+    return st;
+  };
   ClientCallState call;
   call.xid = xid;
   call.request.assign(request.begin(), request.end());
@@ -129,6 +144,8 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
     if (call.attempts > 1) {
       ++stats_.retransmits;
       TraceAdd(TraceCounter::kRpcRetransmits);
+      RecordEvent(RecEvent::kRetransmit, RecEndpoint::kClient, xid,
+                  clock->now_nanos(), /*a=*/call.attempts);
     }
     channel_->Send(DatagramChannel::Dir::kAtoB,
                    ByteSpan(call.request.data(), call.request.size()));
@@ -141,19 +158,21 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
         ++stats_.corrupt_replies;
         TraceAdd(TraceCounter::kRpcCorruptReplies);
         if (!policy_.retry_on_corrupt) {
-          return DataLossError(StrFormat(
-              "reply for xid %u failed its checksum", xid));
+          return complete(DataLossError(StrFormat(
+              "reply for xid %u failed its checksum", xid)));
         }
         continue;  // treat as a drop; the retransmit loop covers it
       }
       auto reply_xid = PeekXid(ByteSpan(datagram->data(), datagram->size()));
       if (!reply_xid.ok()) {
-        return reply_xid.status();  // structurally malformed reply
+        return complete(reply_xid.status());  // structurally malformed reply
       }
       if (*reply_xid != xid) {
         // A late duplicate of an earlier call: discard, keep waiting.
         ++stats_.stale_replies;
         TraceAdd(TraceCounter::kRpcStaleReplies);
+        RecordEvent(RecEvent::kReplyStale, RecEndpoint::kClient, *reply_xid,
+                    clock->now_nanos());
         continue;
       }
       // The wire and the server advanced the clock while we waited; a
@@ -162,27 +181,31 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
       if (call.DeadlinePassed(clock->now_nanos())) {
         ++stats_.deadline_expiries;
         TraceAdd(TraceCounter::kRpcDeadlineExpiries);
-        return DeadlineExceededError(StrFormat(
-            "reply for xid %u arrived after the deadline", xid));
+        RecordEvent(RecEvent::kReplyLate, RecEndpoint::kClient, xid,
+                    clock->now_nanos());
+        return complete(DeadlineExceededError(StrFormat(
+            "reply for xid %u arrived after the deadline", xid)));
       }
+      RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, xid,
+                  clock->now_nanos(), /*a=*/datagram->size());
       *reply = std::move(*datagram);
-      return Status::Ok();
+      return complete(Status::Ok());
     }
 
     // Nothing matched. Give up, or back off and retransmit.
     if (call.AttemptsExhausted(policy_)) {
       ++stats_.unavailable_failures;
       TraceAdd(TraceCounter::kRpcUnavailableFailures);
-      return UnavailableError(StrFormat(
-          "no reply for xid %u after %u attempts", xid, call.attempts));
+      return complete(UnavailableError(StrFormat(
+          "no reply for xid %u after %u attempts", xid, call.attempts)));
     }
     uint64_t now = clock->now_nanos();
     if (call.DeadlinePassed(now)) {
       ++stats_.deadline_expiries;
       TraceAdd(TraceCounter::kRpcDeadlineExpiries);
-      return DeadlineExceededError(StrFormat(
+      return complete(DeadlineExceededError(StrFormat(
           "deadline passed after %u attempts for xid %u", call.attempts,
-          xid));
+          xid)));
     }
     bool expires = false;
     uint64_t wait = call.NextBackoffWait(policy_, &jitter_, now, &expires);
@@ -192,9 +215,11 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
     if (expires) {
       ++stats_.deadline_expiries;
       TraceAdd(TraceCounter::kRpcDeadlineExpiries);
-      return DeadlineExceededError(StrFormat(
-          "deadline passed while backing off for xid %u", xid));
+      return complete(DeadlineExceededError(StrFormat(
+          "deadline passed while backing off for xid %u", xid)));
     }
+    RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, xid,
+                clock->now_nanos(), /*a=*/call.attempts);
   }
 }
 

@@ -144,6 +144,12 @@ JsonWriter& JsonWriter::Double(double value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawNumber(std::string_view literal) {
+  BeforeValue();
+  out_ += literal;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Bool(bool value) {
   BeforeValue();
   out_ += value ? "true" : "false";

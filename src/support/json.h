@@ -37,6 +37,11 @@ class JsonWriter {
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  // Emits a pre-formatted numeric literal verbatim. For values that need
+  // exact decimal control (e.g. nanosecond timestamps rendered as
+  // microseconds) where Double's %.9g would lose precision. The caller
+  // must pass a valid JSON number.
+  JsonWriter& RawNumber(std::string_view literal);
 
   const std::string& str() const { return out_; }
 

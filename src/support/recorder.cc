@@ -1,0 +1,486 @@
+#include "src/support/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/support/json.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+namespace rec_internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// The ring itself: slots are sized once per session (before recording is
+// enabled) and written at a fetch_add'ed index, so concurrent recorders
+// never contend on anything but the index counter.
+std::vector<RecordedEvent> g_slots;
+std::atomic<uint64_t> g_next{0};
+
+uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void RecordSlow(RecEvent type, RecEndpoint endpoint, uint32_t xid,
+                uint64_t virtual_nanos, uint64_t a, uint64_t b) {
+  uint64_t index = g_next.fetch_add(1, std::memory_order_relaxed);
+  RecordedEvent& slot = g_slots[index % g_slots.size()];
+  slot.virtual_nanos = virtual_nanos;
+  slot.wall_nanos = WallNanos();
+  slot.a = a;
+  slot.b = b;
+  slot.xid = xid;
+  slot.type = type;
+  slot.endpoint = endpoint;
+}
+
+}  // namespace rec_internal
+
+namespace {
+
+// Indexed by RecEvent value; keep in lockstep with the enum.
+constexpr std::string_view kRecEventNames[kRecEventCount] = {
+    "call_submit",
+    "marshal_begin",
+    "marshal_end",
+    "wire_tx",
+    "wire_rx",
+    "fault_drop",
+    "fault_dup",
+    "fault_corrupt",
+    "fault_delay",
+    "server_exec_begin",
+    "server_exec_end",
+    "retransmit",
+    "rto_fire",
+    "reply_match",
+    "reply_stale",
+    "reply_late",
+    "call_complete",
+};
+
+constexpr std::string_view kRecEndpointNames[kRecEndpointCount] = {
+    "client",
+    "server",
+    "wire.a2b",
+    "wire.b2a",
+};
+
+template <size_t N>
+constexpr bool NamesNonEmptyAndUnique(const std::string_view (&names)[N]) {
+  for (size_t i = 0; i < N; ++i) {
+    if (names[i].empty()) {
+      return false;
+    }
+    for (size_t j = i + 1; j < N; ++j) {
+      if (names[i] == names[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(NamesNonEmptyAndUnique(kRecEventNames),
+              "RecEvent name table must cover the enum with unique names");
+static_assert(NamesNonEmptyAndUnique(kRecEndpointNames),
+              "RecEndpoint name table must cover the enum with unique names");
+
+thread_local bool tls_scope_active = false;
+thread_local uint32_t tls_scope_xid = 0;
+thread_local const VirtualClock* tls_scope_clock = nullptr;
+
+}  // namespace
+
+std::string_view RecEventName(RecEvent e) {
+  return kRecEventNames[static_cast<size_t>(e)];
+}
+
+std::string_view RecEndpointName(RecEndpoint e) {
+  return kRecEndpointNames[static_cast<size_t>(e)];
+}
+
+RecorderCallScope::RecorderCallScope(uint32_t xid, const VirtualClock* clock)
+    : prev_xid_(tls_scope_xid),
+      prev_clock_(tls_scope_clock),
+      prev_active_(tls_scope_active) {
+  tls_scope_xid = xid;
+  tls_scope_clock = clock;
+  tls_scope_active = true;
+}
+
+RecorderCallScope::~RecorderCallScope() {
+  tls_scope_xid = prev_xid_;
+  tls_scope_clock = prev_clock_;
+  tls_scope_active = prev_active_;
+}
+
+bool RecorderCallScope::Active() { return tls_scope_active; }
+
+uint32_t RecorderCallScope::CurrentXid() { return tls_scope_xid; }
+
+uint64_t RecorderCallScope::CurrentVirtualNanos() {
+  return tls_scope_clock != nullptr ? tls_scope_clock->now_nanos() : 0;
+}
+
+RecorderSession::RecorderSession(size_t capacity) {
+  if (RecorderEnabled()) {
+    std::fprintf(stderr, "recorder: nested RecorderSession\n");
+    std::abort();
+  }
+  rec_internal::g_slots.assign(capacity == 0 ? 1 : capacity,
+                               RecordedEvent{});
+  rec_internal::g_next.store(0, std::memory_order_relaxed);
+  rec_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+RecorderSession::~RecorderSession() {
+  if (!stopped_) {
+    rec_internal::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+Recording RecorderSession::Stop() {
+  Recording recording;
+  if (stopped_) {
+    return recording;
+  }
+  stopped_ = true;
+  rec_internal::g_enabled.store(false, std::memory_order_relaxed);
+  uint64_t total = rec_internal::g_next.load(std::memory_order_relaxed);
+  size_t capacity = rec_internal::g_slots.size();
+  recording.capacity = capacity;
+  recording.total_events = total;
+  if (total <= capacity) {
+    recording.events.assign(rec_internal::g_slots.begin(),
+                            rec_internal::g_slots.begin() +
+                                static_cast<ptrdiff_t>(total));
+  } else {
+    // The ring wrapped: the oldest surviving event sits at total % capacity.
+    recording.dropped_events = total - capacity;
+    size_t start = static_cast<size_t>(total % capacity);
+    recording.events.reserve(capacity);
+    recording.events.insert(recording.events.end(),
+                            rec_internal::g_slots.begin() +
+                                static_cast<ptrdiff_t>(start),
+                            rec_internal::g_slots.end());
+    recording.events.insert(recording.events.end(),
+                            rec_internal::g_slots.begin(),
+                            rec_internal::g_slots.begin() +
+                                static_cast<ptrdiff_t>(start));
+  }
+  return recording;
+}
+
+std::string RecordingToJson(const Recording& recording,
+                            bool include_wall_nanos) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("flexrpc-rec-v1");
+  w.Key("capacity").UInt(recording.capacity);
+  w.Key("total_events").UInt(recording.total_events);
+  w.Key("dropped_events").UInt(recording.dropped_events);
+  w.Key("events").BeginArray();
+  for (const RecordedEvent& e : recording.events) {
+    w.BeginObject();
+    w.Key("type").String(RecEventName(e.type));
+    w.Key("ep").String(RecEndpointName(e.endpoint));
+    w.Key("xid").UInt(e.xid);
+    w.Key("vt").UInt(e.virtual_nanos);
+    w.Key("a").UInt(e.a);
+    w.Key("b").UInt(e.b);
+    if (include_wall_nanos) {
+      w.Key("wt").UInt(e.wall_nanos);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+namespace {
+
+Result<uint64_t> RequireUInt(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->IsNumber()) {
+    return InvalidArgumentError(
+        StrFormat("recording event missing numeric \"%s\"", key));
+  }
+  return static_cast<uint64_t>(v->number);
+}
+
+}  // namespace
+
+Result<Recording> ParseRecording(std::string_view json) {
+  FLEXRPC_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json));
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->string != "flexrpc-rec-v1") {
+    return InvalidArgumentError("not a flexrpc-rec-v1 recording");
+  }
+  Recording recording;
+  FLEXRPC_ASSIGN_OR_RETURN(uint64_t capacity, RequireUInt(doc, "capacity"));
+  recording.capacity = static_cast<size_t>(capacity);
+  FLEXRPC_ASSIGN_OR_RETURN(recording.total_events,
+                           RequireUInt(doc, "total_events"));
+  FLEXRPC_ASSIGN_OR_RETURN(recording.dropped_events,
+                           RequireUInt(doc, "dropped_events"));
+  const JsonValue* events = doc.Find("events");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return InvalidArgumentError("recording has no events array");
+  }
+  recording.events.reserve(events->array.size());
+  for (const JsonValue& entry : events->array) {
+    RecordedEvent e;
+    const JsonValue* type = entry.Find("type");
+    const JsonValue* ep = entry.Find("ep");
+    if (type == nullptr || ep == nullptr) {
+      return InvalidArgumentError("recording event missing type/ep");
+    }
+    bool found = false;
+    for (size_t i = 0; i < kRecEventCount; ++i) {
+      if (kRecEventNames[i] == type->string) {
+        e.type = static_cast<RecEvent>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return InvalidArgumentError(
+          StrFormat("unknown event type \"%s\"", type->string.c_str()));
+    }
+    found = false;
+    for (size_t i = 0; i < kRecEndpointCount; ++i) {
+      if (kRecEndpointNames[i] == ep->string) {
+        e.endpoint = static_cast<RecEndpoint>(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return InvalidArgumentError(
+          StrFormat("unknown endpoint \"%s\"", ep->string.c_str()));
+    }
+    FLEXRPC_ASSIGN_OR_RETURN(uint64_t xid, RequireUInt(entry, "xid"));
+    e.xid = static_cast<uint32_t>(xid);
+    FLEXRPC_ASSIGN_OR_RETURN(e.virtual_nanos, RequireUInt(entry, "vt"));
+    FLEXRPC_ASSIGN_OR_RETURN(e.a, RequireUInt(entry, "a"));
+    FLEXRPC_ASSIGN_OR_RETURN(e.b, RequireUInt(entry, "b"));
+    if (const JsonValue* wt = entry.Find("wt");
+        wt != nullptr && wt->IsNumber()) {
+      e.wall_nanos = static_cast<uint64_t>(wt->number);
+    }
+    recording.events.push_back(e);
+  }
+  return recording;
+}
+
+// --- Chrome trace_event export ------------------------------------------
+
+namespace {
+
+// Virtual nanoseconds -> the "ts" microsecond field, exactly (three
+// decimal places keeps sub-microsecond event ordering without going
+// through a double).
+std::string ChromeTs(uint64_t virtual_nanos) {
+  return StrFormat("%llu.%03llu",
+                   static_cast<unsigned long long>(virtual_nanos / 1000),
+                   static_cast<unsigned long long>(virtual_nanos % 1000));
+}
+
+// One trace event's fixed fields. tid is the endpoint track.
+void ChromeEventHead(JsonWriter& w, std::string_view name,
+                     std::string_view ph, uint64_t virtual_nanos,
+                     RecEndpoint endpoint) {
+  w.BeginObject();
+  w.Key("name").String(name);
+  w.Key("ph").String(ph);
+  w.Key("ts").RawNumber(ChromeTs(virtual_nanos));
+  w.Key("pid").UInt(0);
+  w.Key("tid").UInt(static_cast<uint64_t>(endpoint) + 1);
+}
+
+void ChromeArgsXid(JsonWriter& w, const RecordedEvent& e) {
+  w.Key("args").BeginObject();
+  w.Key("xid").UInt(e.xid);
+  if (e.a != 0) {
+    w.Key("a").UInt(e.a);
+  }
+  if (e.b != 0) {
+    w.Key("b").UInt(e.b);
+  }
+  w.EndObject();
+}
+
+struct SpanKind {
+  std::string_view begin_name;  // span label when opened by this event
+  RecEvent end_type;
+};
+
+}  // namespace
+
+std::string ExportChromeTrace(const Recording& recording) {
+  // Stable-sort by virtual time: ring order is the deterministic
+  // tie-break, and B/E pairing below requires chronological order.
+  std::vector<const RecordedEvent*> ordered;
+  ordered.reserve(recording.events.size());
+  for (const RecordedEvent& e : recording.events) {
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RecordedEvent* a, const RecordedEvent* b) {
+                     return a->virtual_nanos < b->virtual_nanos;
+                   });
+  uint64_t last_nanos =
+      ordered.empty() ? 0 : ordered.back()->virtual_nanos;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData").BeginObject();
+  w.Key("dropped_events").UInt(recording.dropped_events);
+  w.Key("total_events").UInt(recording.total_events);
+  w.EndObject();
+  w.Key("traceEvents").BeginArray();
+
+  // Track-name metadata: one named thread per endpoint.
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").UInt(0);
+  w.Key("tid").UInt(0);
+  w.Key("args").BeginObject().Key("name").String("flexrpc").EndObject();
+  w.EndObject();
+  for (size_t i = 0; i < kRecEndpointCount; ++i) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(i + 1);
+    w.Key("args")
+        .BeginObject()
+        .Key("name")
+        .String(kRecEndpointNames[i])
+        .EndObject();
+    w.EndObject();
+  }
+
+  if (recording.dropped_events > 0) {
+    // Make truncation visible in the viewer instead of silently showing a
+    // partial timeline.
+    RecordedEvent marker;
+    marker.virtual_nanos =
+        ordered.empty() ? 0 : ordered.front()->virtual_nanos;
+    ChromeEventHead(w, "truncated", "i", marker.virtual_nanos,
+                    RecEndpoint::kClient);
+    w.Key("s").String("g");
+    w.Key("args")
+        .BeginObject()
+        .Key("dropped_events")
+        .UInt(recording.dropped_events)
+        .EndObject();
+    w.EndObject();
+  }
+
+  // B/E pairing state per endpoint track: a truncated recording can hold
+  // an End whose Begin was overwritten (suppress it) or a Begin whose End
+  // never landed (close it at the final timestamp). Marshal and server
+  // spans never nest within a track, so open-span bookkeeping is a stack
+  // of labels.
+  std::vector<std::string_view> open_spans[kRecEndpointCount];
+  // Async call spans keyed by xid, same repair rules.
+  std::vector<uint32_t> open_calls;
+
+  for (const RecordedEvent* ep : ordered) {
+    const RecordedEvent& e = *ep;
+    switch (e.type) {
+      case RecEvent::kCallSubmit: {
+        ChromeEventHead(w, "call", "b", e.virtual_nanos, e.endpoint);
+        w.Key("cat").String("rpc");
+        w.Key("id").UInt(e.xid);
+        ChromeArgsXid(w, e);
+        w.EndObject();
+        open_calls.push_back(e.xid);
+        break;
+      }
+      case RecEvent::kCallComplete: {
+        auto it = std::find(open_calls.begin(), open_calls.end(), e.xid);
+        if (it == open_calls.end()) {
+          break;  // begin lost to truncation
+        }
+        open_calls.erase(it);
+        ChromeEventHead(w, "call", "e", e.virtual_nanos, e.endpoint);
+        w.Key("cat").String("rpc");
+        w.Key("id").UInt(e.xid);
+        ChromeArgsXid(w, e);
+        w.EndObject();
+        break;
+      }
+      case RecEvent::kMarshalBegin:
+      case RecEvent::kServerExecBegin: {
+        std::string_view name = e.type == RecEvent::kServerExecBegin
+                                    ? "server_exec"
+                                : e.a != 0 ? "unmarshal"
+                                           : "marshal";
+        ChromeEventHead(w, name, "B", e.virtual_nanos, e.endpoint);
+        ChromeArgsXid(w, e);
+        w.EndObject();
+        open_spans[static_cast<size_t>(e.endpoint)].push_back(name);
+        break;
+      }
+      case RecEvent::kMarshalEnd:
+      case RecEvent::kServerExecEnd: {
+        auto& stack = open_spans[static_cast<size_t>(e.endpoint)];
+        if (stack.empty()) {
+          break;  // begin lost to truncation
+        }
+        std::string_view name = stack.back();
+        stack.pop_back();
+        ChromeEventHead(w, name, "E", e.virtual_nanos, e.endpoint);
+        w.EndObject();
+        break;
+      }
+      default: {
+        // Everything else is an instant on its endpoint's track.
+        ChromeEventHead(w, RecEventName(e.type), "i", e.virtual_nanos,
+                        e.endpoint);
+        w.Key("s").String("t");
+        ChromeArgsXid(w, e);
+        w.EndObject();
+        break;
+      }
+    }
+  }
+
+  // Repair unmatched begins so the trace stays structurally valid.
+  for (size_t track = 0; track < kRecEndpointCount; ++track) {
+    while (!open_spans[track].empty()) {
+      std::string_view name = open_spans[track].back();
+      open_spans[track].pop_back();
+      ChromeEventHead(w, name, "E", last_nanos,
+                      static_cast<RecEndpoint>(track));
+      w.EndObject();
+    }
+  }
+  for (uint32_t xid : open_calls) {
+    ChromeEventHead(w, "call", "e", last_nanos, RecEndpoint::kClient);
+    w.Key("cat").String("rpc");
+    w.Key("id").UInt(xid);
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace flexrpc

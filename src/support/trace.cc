@@ -113,6 +113,32 @@ constexpr std::string_view kHistogramNames[kTraceHistogramCount] = {
     "net.transfer_virtual_nanos",
 };
 
+// Enum/name-table drift guard. The array extents above already force the
+// table *length* to match kCount (excess initializers fail to compile),
+// but a missing trailing entry would silently value-initialize to an
+// empty string_view — catch that, and accidental duplicates, here.
+template <size_t N>
+constexpr bool NamesNonEmptyAndUnique(const std::string_view (&names)[N]) {
+  for (size_t i = 0; i < N; ++i) {
+    if (names[i].empty()) {
+      return false;
+    }
+    for (size_t j = i + 1; j < N; ++j) {
+      if (names[i] == names[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(NamesNonEmptyAndUnique(kCounterNames),
+              "TraceCounter name table must cover the enum with unique "
+              "names — append the new counter's name in enum order");
+static_assert(NamesNonEmptyAndUnique(kHistogramNames),
+              "TraceHistogram name table must cover the enum with unique "
+              "names — append the new histogram's name in enum order");
+
 }  // namespace
 
 std::string_view TraceCounterName(TraceCounter c) {

@@ -24,6 +24,7 @@
 #include "src/rpc/pipeline.h"
 #include "src/rpc/retry.h"
 #include "src/support/event_queue.h"
+#include "src/support/recorder.h"
 #include "src/support/rng.h"
 #include "src/support/trace.h"
 
@@ -335,6 +336,29 @@ TEST(PipelinedFaultMatrixTest, SameSeedTwiceMatchesPipelineCounters) {
   EXPECT_GT(first.trace.counters[static_cast<size_t>(
                 TraceCounter::kRpcPipelineEvents)],
             0u);
+}
+
+TEST(PipelinedFaultMatrixTest, SameSeedRecordingsAreByteIdentical) {
+  // The flight-recorder determinism gate (ISSUE 5): the serialized
+  // recording omits host wall stamps by default, so two runs of the same
+  // seeded lossy workload must produce *byte-identical* artifacts — the
+  // contract that makes recordings diffable across CI runs and machines.
+  FaultConfig mix = MixForSeed(5, 0xA2B);
+  FaultConfig reply_mix = MixForSeed(5, 0xB2A);
+  std::string first;
+  {
+    RecorderSession recorder;
+    RunPipelinedSoak(5, mix, reply_mix);
+    first = RecordingToJson(recorder.Stop());
+  }
+  std::string second;
+  {
+    RecorderSession recorder;
+    RunPipelinedSoak(5, mix, reply_mix);
+    second = RecordingToJson(recorder.Stop());
+  }
+  EXPECT_GT(first.size(), 1024u);  // the run actually recorded a timeline
+  EXPECT_EQ(first, second);
 }
 
 TEST(PipelinedFaultMatrixTest, NfsDroppedReplyProvesAtMostOncePipelined) {

@@ -13,6 +13,7 @@
 #include "src/support/bytes.h"
 #include "src/support/diag.h"
 #include "src/support/event_queue.h"
+#include "src/support/json.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
@@ -403,6 +404,72 @@ TEST(DiagTest, FormattingAndCounts) {
   EXPECT_EQ(sink.error_count(), 1);
   EXPECT_EQ(sink.diagnostics()[0].ToString(), "f.idl:3:7: error: bad");
   EXPECT_NE(sink.ToString().find("warning: meh"), std::string::npos);
+}
+
+// The recorder/bench artifacts round-trip through the in-repo JSON layer;
+// event names are closed-catalog but user-visible strings (file paths,
+// status messages) can carry anything printable or not.
+TEST(JsonTest, EscapingRoundTripsControlAndQuoteCharacters) {
+  const std::string hostile =
+      "quote:\" backslash:\\ newline:\n tab:\t cr:\r bell:\x07 nul-adjacent:"
+      "\x01\x1f slash:/ utf8:\xc3\xa9";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key(hostile).String(hostile);
+  w.EndObject();
+  const std::string& json = w.str();
+  // The serialized form must never contain a raw control character —
+  // except the pretty-printer's own inter-element newlines, which sit
+  // outside string literals.
+  for (char c : json) {
+    if (c == '\n') {
+      continue;
+    }
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte in output";
+  }
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->object.size(), 1u);
+  EXPECT_EQ(parsed->object[0].first, hostile);
+  EXPECT_EQ(parsed->object[0].second.string, hostile);
+}
+
+TEST(JsonTest, EscapingRoundTripsEveryControlByte) {
+  std::string all_controls;
+  for (int c = 1; c < 0x20; ++c) {  // NUL would truncate a C string, skip
+    all_controls.push_back(static_cast<char>(c));
+  }
+  JsonWriter w;
+  w.BeginArray().String(all_controls).EndArray();
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->array.size(), 1u);
+  EXPECT_EQ(parsed->array[0].string, all_controls);
+}
+
+TEST(JsonTest, RawNumberEmitsLiteralVerbatim) {
+  // RawNumber exists for exact decimal control (Chrome trace timestamps:
+  // nanos rendered as microseconds with three decimals); Double's %.9g
+  // would round 18446744073709.551 past sub-microsecond precision.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts").RawNumber("18446744073709.551");
+  w.Key("plain").RawNumber("42");
+  w.EndObject();
+  EXPECT_NE(w.str().find("\"ts\": 18446744073709.551"), std::string::npos);
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("plain")->number, 42.0);
 }
 
 }  // namespace

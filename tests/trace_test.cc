@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string_view>
 #include <thread>
 
 #include "src/support/json.h"
@@ -87,6 +89,35 @@ TEST_F(TraceTest, NamesMatchEnumOrder) {
             "rpc.marshal_nanos");
   EXPECT_EQ(TraceHistogramName(TraceHistogram::kNetTransferVirtualNanos),
             "net.transfer_virtual_nanos");
+}
+
+// Drift guard over the whole catalog via the public name API: every
+// enum value must map to a non-empty, unique, dot-separated name. (The
+// compile-time static_asserts in trace.cc enforce the same property on
+// the tables directly; this keeps the public accessors honest.)
+TEST_F(TraceTest, EveryCatalogNameIsNonEmptyAndUnique) {
+  std::set<std::string_view> counter_names;
+  for (size_t i = 0; i < kTraceCounterCount; ++i) {
+    std::string_view name = TraceCounterName(static_cast<TraceCounter>(i));
+    EXPECT_FALSE(name.empty()) << "counter " << i << " has no name";
+    EXPECT_TRUE(counter_names.insert(name).second)
+        << "duplicate counter name " << name;
+  }
+  EXPECT_EQ(counter_names.size(), kTraceCounterCount);
+  std::set<std::string_view> histogram_names;
+  for (size_t i = 0; i < kTraceHistogramCount; ++i) {
+    std::string_view name =
+        TraceHistogramName(static_cast<TraceHistogram>(i));
+    EXPECT_FALSE(name.empty()) << "histogram " << i << " has no name";
+    EXPECT_TRUE(histogram_names.insert(name).second)
+        << "duplicate histogram name " << name;
+    // Histogram-count budget keys append ".count" to the histogram name;
+    // a histogram name that already collides with a counter name would
+    // make the budget keyspace ambiguous.
+    EXPECT_EQ(counter_names.count(name), 0u)
+        << "histogram name shadows a counter: " << name;
+  }
+  EXPECT_EQ(histogram_names.size(), kTraceHistogramCount);
 }
 
 TEST_F(TraceTest, SessionEnablesAndRestores) {

@@ -4,6 +4,10 @@
 #   tools/bench.sh                    # full-fidelity run -> bench-results/
 #   tools/bench.sh --smoke            # deterministic scaled-down run
 #   tools/bench.sh --smoke --check    # + gate against bench/budgets/smoke.json
+#   tools/bench.sh --smoke --record   # + flight-recorder artifacts
+#                                     #   (REC_*.json + TRACE_*.json Chrome
+#                                     #   traces, from the benches that
+#                                     #   support recording)
 #   OUT=dir BUILD=dir tools/bench.sh  # override output / build directories
 #
 # Full runs take minutes (they reproduce the paper figures at full
@@ -17,13 +21,15 @@ BUILD=${BUILD:-build}
 OUT=${OUT:-bench-results}
 SMOKE=
 CHECK=
+RECORD=
 
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=--smoke ;;
     --check) CHECK=1 ;;
+    --record) RECORD=--record ;;
     *)
-      echo "usage: tools/bench.sh [--smoke] [--check]" >&2
+      echo "usage: tools/bench.sh [--smoke] [--check] [--record]" >&2
       exit 1
       ;;
   esac
@@ -43,11 +49,14 @@ mkdir -p "$OUT"
 for bin in "$BUILD"/bench/bench_*; do
   [ -x "$bin" ] || continue
   echo "== $(basename "$bin") =="
-  "$bin" $SMOKE "--json_dir=$OUT"
+  "$bin" $SMOKE $RECORD "--json_dir=$OUT"
 done
 
 echo "== artifacts =="
 ls -l "$OUT"/BENCH_*.json
+if [ -n "$RECORD" ]; then
+  ls -l "$OUT"/REC_*.json "$OUT"/TRACE_*.json
+fi
 
 if [ -n "$CHECK" ]; then
   echo "== budget gate =="

@@ -37,6 +37,17 @@ echo "== flexcheck on the examples =="
   --client-pdl examples/idl/syslog_client.pdl \
   --lint --Werror --check
 
+echo "== flexrec smoke check =="
+# One recorded smoke rep of the pipelined bench, then render its report —
+# proves the recorder, the serializer, and the attribution pipeline work
+# end to end on every CI run.
+rec_dir=build/flexrec-smoke
+mkdir -p "$rec_dir"
+./build/bench/bench_pipeline_nfs --smoke --record "--json_dir=$rec_dir" \
+  > /dev/null
+./build/tools/flextrace/flexrec_report "$rec_dir/REC_pipeline_nfs.json" \
+  --limit=8
+
 if [ "${SKIP_SAN:-}" != 1 ]; then
   echo "== ASan+UBSan build + tests =="
   run_suite build-asan -DFLEXRPC_SANITIZE=address,undefined

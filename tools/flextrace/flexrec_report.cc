@@ -1,0 +1,92 @@
+// flexrec_report — render a flight-recorder recording as a latency report.
+//
+// Usage:
+//   flexrec_report <recording.json> [--limit=N] [--chrome=<trace.json>]
+//
+// Reads a flexrpc-rec-v1 recording (REC_<bench>.json, emitted by the
+// benches under --record --json_dir=...) and prints the deterministic
+// attribution report: aggregate phase budget, retransmit cause
+// classification, window-occupancy timeline, and a per-call table.
+// --limit caps the per-call rows (default 32, 0 = all); --chrome
+// additionally writes the Chrome trace_event export for
+// Perfetto / chrome://tracing.
+//
+// Exit code 0 on success, 1 on unreadable or malformed input. CI runs
+// this on one smoke recording as a smoke check (tools/ci.sh).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/flexrec.h"
+#include "src/support/recorder.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flexrec_report <recording.json> [--limit=N] "
+               "[--chrome=<trace.json>]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* input_path = nullptr;
+  size_t limit = 32;
+  const char* chrome_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--limit=", 8) == 0) {
+      limit = static_cast<size_t>(std::strtoull(arg + 8, nullptr, 10));
+      if (limit == 0) {
+        limit = static_cast<size_t>(-1);
+      }
+    } else if (std::strncmp(arg, "--chrome=", 9) == 0) {
+      chrome_path = arg + 9;
+    } else if (input_path == nullptr && arg[0] != '-') {
+      input_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input_path == nullptr) {
+    return Usage();
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "flexrec_report: cannot open %s\n", input_path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto recording = flexrpc::ParseRecording(buffer.str());
+  if (!recording.ok()) {
+    std::fprintf(stderr, "flexrec_report: %s: %s\n", input_path,
+                 recording.status().ToString().c_str());
+    return 1;
+  }
+
+  flexrpc::RecordingAnalysis analysis =
+      flexrpc::AnalyzeRecording(*recording);
+  std::string report = flexrpc::RenderReport(analysis, limit);
+  std::fputs(report.c_str(), stdout);
+
+  if (chrome_path != nullptr) {
+    std::ofstream out(chrome_path);
+    if (!out) {
+      std::fprintf(stderr, "flexrec_report: cannot write %s\n",
+                   chrome_path);
+      return 1;
+    }
+    out << flexrpc::ExportChromeTrace(*recording);
+    std::fprintf(stderr, "wrote Chrome trace to %s\n", chrome_path);
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/support/json.h"
@@ -26,8 +27,9 @@ namespace flexrpc {
 namespace {
 
 // The gated subset of the counter catalog: the work the paper's
-// evaluation argues about. Timing counters/histograms are deliberately
-// absent — they are host-dependent.
+// evaluation argues about. Timing *values* are deliberately absent —
+// they are host-dependent — but histogram observation counts are gated
+// separately below.
 constexpr const char* kGatedCounters[] = {
     "kernel.traps",
     "kernel.port_transfers.unique",
@@ -70,6 +72,19 @@ constexpr const char* kGatedCounters[] = {
     "rpc.pipeline.events",
 };
 
+// Histogram *counts* are gated too: the number of observations (marshals,
+// dispatches, messages, wire transfers) is exact for a fixed workload even
+// where the observed values are host wall time. Budget keys carry a
+// ".count" suffix on the histogram name; an artifact that elides a
+// zero-observation histogram reads as 0.
+constexpr const char* kGatedHistogramCounts[] = {
+    "rpc.marshal_nanos.count",
+    "rpc.unmarshal_nanos.count",
+    "rpc.dispatch_nanos.count",
+    "ipc.message_bytes.count",
+    "net.transfer_virtual_nanos.count",
+};
+
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -99,6 +114,35 @@ uint64_t CounterOf(const JsonValue& artifact, const char* name) {
     return 0;
   }
   return static_cast<uint64_t>(v->number);
+}
+
+uint64_t HistogramCountOf(const JsonValue& artifact,
+                          const std::string& histogram) {
+  const JsonValue* trace = artifact.Find("trace");
+  const JsonValue* histograms =
+      trace != nullptr ? trace->Find("histograms") : nullptr;
+  const JsonValue* h = histograms != nullptr
+                           ? histograms->Find(histogram.c_str())
+                           : nullptr;
+  // Zero-observation histograms are elided from the artifact entirely.
+  const JsonValue* v = h != nullptr ? h->Find("count") : nullptr;
+  if (v == nullptr || !v->IsNumber()) {
+    return 0;
+  }
+  return static_cast<uint64_t>(v->number);
+}
+
+// Resolves a budget key to its observed value: "<histogram>.count" keys
+// read trace.histograms, everything else reads trace.counters.
+uint64_t GatedValueOf(const JsonValue& artifact, const std::string& key) {
+  constexpr std::string_view kCountSuffix = ".count";
+  if (key.size() > kCountSuffix.size() &&
+      key.compare(key.size() - kCountSuffix.size(), kCountSuffix.size(),
+                  kCountSuffix) == 0) {
+    return HistogramCountOf(
+        artifact, key.substr(0, key.size() - kCountSuffix.size()));
+  }
+  return CounterOf(artifact, key.c_str());
 }
 
 struct Options {
@@ -145,7 +189,7 @@ void CheckBench(const std::string& bench, const JsonValue& artifact,
     return;
   }
   for (const auto& [name, want] : budget->object) {
-    uint64_t got = CounterOf(artifact, name.c_str());
+    uint64_t got = GatedValueOf(artifact, name);
     uint64_t lo;
     uint64_t hi;
     if (want.IsNumber()) {
@@ -207,6 +251,9 @@ int Run(const Options& opts) {
       w.Key(bench).BeginObject();
       for (const char* name : kGatedCounters) {
         w.Key(name).UInt(CounterOf(*artifact, name));
+      }
+      for (const char* name : kGatedHistogramCounts) {
+        w.Key(name).UInt(GatedValueOf(*artifact, name));
       }
       w.EndObject();
     }
