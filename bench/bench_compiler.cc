@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/analysis/spec_verifier.h"
 #include "src/apps/nfs.h"
 #include "src/codegen/cpp_gen.h"
+#include "src/marshal/spec.h"
 #include "src/idl/corba_parser.h"
 #include "src/idl/sema.h"
 #include "src/idl/sunrpc_parser.h"
@@ -198,7 +200,36 @@ int main(int argc, char** argv) {
   args[prog.SlotOf("offset")].scalar = 0;
   args[prog.SlotOf("count")].scalar = 8192;
   args[prog.SlotOf("totalcount")].scalar = 8192;
-  time_stage("marshal_nfs_read_request", 100000, 100, [&] {
+  time_stage("marshal_nfs_read_request", 1000000, 100, [&] {
+    flexrpc::XdrWriter w;
+    (void)prog.MarshalRequest(args, &w);
+    benchmark::DoNotOptimize(w.size());
+  });
+
+  // flexspec stages: compiling a superinstruction plan, proving it
+  // equivalent, and the interpreter-vs-fused A/B on the same program.
+  const flexrpc::OperationDecl& read_op = idl->interfaces[0].ops[0];
+  const flexrpc::OpPresentation& read_pres =
+      *pres.Find("NFS_VERSION")->FindOp("NFSPROC_READ");
+  time_stage("compile_spec_plan", 2000, 20, [&] {
+    auto plan = flexrpc::CompileSpecPlan(read_op, read_pres);
+    benchmark::DoNotOptimize(plan.AnyStream());
+  });
+  time_stage("verify_spec_plan", 500, 5, [&] {
+    auto plan = flexrpc::CompileSpecPlan(read_op, read_pres);
+    flexrpc::DiagnosticSink d;
+    int divergences =
+        flexrpc::VerifySpecPlan(read_op, read_pres, plan, "nfs.x", &d);
+    benchmark::DoNotOptimize(divergences);
+  });
+  flexrpc::SetMarshalSpecializationEnabled(false);
+  time_stage("marshal_nfs_read_interp", 1000000, 100, [&] {
+    flexrpc::XdrWriter w;
+    (void)prog.MarshalRequest(args, &w);
+    benchmark::DoNotOptimize(w.size());
+  });
+  flexrpc::SetMarshalSpecializationEnabled(true);
+  time_stage("marshal_nfs_read_fused", 1000000, 100, [&] {
     flexrpc::XdrWriter w;
     (void)prog.MarshalRequest(args, &w);
     benchmark::DoNotOptimize(w.size());

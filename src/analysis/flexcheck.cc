@@ -45,6 +45,21 @@ const std::vector<FlexCodeInfo>& FlexCodeCatalog() {
        "one slot carries two wire items of a stream (double release)"},
       {"FLEX106", DiagSeverity::kError,
        "flattened item missing a field or discriminant slot"},
+      // --- stage 3: flexspec equivalence prover ---
+      {"FLEX201", DiagSeverity::kError,
+       "specialized stream emits a different number of wire effects"},
+      {"FLEX202", DiagSeverity::kError,
+       "specialized wire effect has the wrong kind"},
+      {"FLEX203", DiagSeverity::kError,
+       "specialized wire effect reads or writes the wrong operand"},
+      {"FLEX204", DiagSeverity::kError,
+       "specialized wire effect violates the length/bound discipline"},
+      {"FLEX205", DiagSeverity::kWarning,
+       "stream outside the specializable subset (interpreter retained)"},
+      {"FLEX206", DiagSeverity::kError,
+       "specialized wire effect has the wrong destination/alloc policy"},
+      {"FLEX207", DiagSeverity::kError,
+       "specialized union discriminant structure diverges from the plan"},
   };
   return kCatalog;
 }

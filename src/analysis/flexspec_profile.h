@@ -1,0 +1,67 @@
+// flexspec profile reader: ranks marshal plans by observed hotness.
+//
+// BENCH_*.json artifacts (bench/bench_util) carry a "marshal_profile"
+// section — per-(signature × presentation) call and byte counts the
+// engine's interned profile cells accumulated inside the traced window.
+// REC_*.json flight recordings (src/support/recorder.h) carry marshal
+// begin/end events without plan identity; they corroborate that marshal
+// work happened but cannot attribute it, so they land in an unattributed
+// bucket reported alongside the ranking.
+//
+// `idlc --specialize --profile=PATH` feeds files (or directories, scanned
+// for BENCH_*/REC_* names) through this reader and specializes the top-K
+// plans by Score() — weighted calls, with wire bytes as the tiebreaker.
+
+#ifndef FLEXRPC_SRC_ANALYSIS_FLEXSPEC_PROFILE_H_
+#define FLEXRPC_SRC_ANALYSIS_FLEXSPEC_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/marshal/spec.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// One ranked plan, merged across every artifact that mentions its key.
+struct ProfiledPlan {
+  SpecKey key;
+  std::string op_name;  // from the first artifact naming the key
+  uint64_t marshal_calls = 0;
+  uint64_t unmarshal_calls = 0;
+  uint64_t wire_bytes = 0;
+
+  // Hotness: every stream execution is one interpreter walk saved.
+  uint64_t Score() const { return marshal_calls + unmarshal_calls; }
+};
+
+struct MarshalProfile {
+  std::vector<ProfiledPlan> plans;  // sorted by Score() desc, key asc
+  // Marshal spans seen in flexrec recordings (no plan identity).
+  uint64_t unattributed_recording_spans = 0;
+  size_t artifacts_read = 0;
+
+  // The top-K keys to specialize (fewer when the profile is smaller).
+  std::vector<SpecKey> TopKeys(size_t k) const;
+  const ProfiledPlan* Find(const SpecKey& key) const;
+};
+
+// Merges one artifact's JSON text into `profile`. BENCH artifacts feed
+// the ranking; REC recordings feed the unattributed bucket; anything
+// else is an error.
+Status MergeProfileArtifact(std::string_view json_text,
+                            MarshalProfile* profile);
+
+// Reads `path` (file, or directory scanned non-recursively for
+// BENCH_*.json / REC_*.json entries) into `profile`. Missing paths and
+// malformed artifacts are errors; an empty directory is not.
+Status LoadProfilePath(const std::string& path, MarshalProfile* profile);
+
+// Final ordering pass: sorts plans by Score() descending (key ascending
+// as the deterministic tiebreaker). LoadProfilePath callers run this
+// once after the last merge.
+void FinalizeProfile(MarshalProfile* profile);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_ANALYSIS_FLEXSPEC_PROFILE_H_

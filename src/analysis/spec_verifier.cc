@@ -1,0 +1,565 @@
+#include "src/analysis/spec_verifier.h"
+
+#include "src/analysis/flexcheck.h"
+#include "src/marshal/engine.h"
+#include "src/marshal/layout.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+bool IsByteElem(const Type* elem) {
+  TypeKind k = elem->Resolve()->kind();
+  return k == TypeKind::kOctet || k == TypeKind::kChar;
+}
+
+const char* DestName(WireEffect::Dest dest) {
+  switch (dest) {
+    case WireEffect::Dest::kNone:
+      return "wire";
+    case WireEffect::Dest::kSlotScalar:
+      return "slot-scalar";
+    case WireEffect::Dest::kSlotMem:
+      return "slot-mem";
+    case WireEffect::Dest::kBuffer:
+      return "buffer";
+    case WireEffect::Dest::kString:
+      return "string";
+  }
+  return "?";
+}
+
+const char* LenSourceName(SpecLenSource src) {
+  switch (src) {
+    case SpecLenSource::kSlotLength:
+      return "slot-length";
+    case SpecLenSource::kLenSlot:
+      return "length-slot";
+    case SpecLenSource::kStrLen:
+      return "strlen";
+  }
+  return "?";
+}
+
+// Symbolic executor for the interpreted plan: one pass over the item
+// stream the engine would walk, lowering each MarshalTop/UnmarshalTop
+// case to canonical effects. Engine constructs the superinstruction set
+// cannot express lower to kOpaque.
+class PlanLowering {
+ public:
+  PlanLowering(const OpPresentation& pres, bool marshal, bool is_reply)
+      : pres_(pres), marshal_(marshal), is_reply_(is_reply) {}
+
+  std::vector<WireEffect> Lower(const std::vector<PlanItemView>& items) {
+    for (const PlanItemView& item : items) {
+      LowerItem(item);
+    }
+    return std::move(effects_);
+  }
+
+ private:
+  int SlotOfName(std::string_view name) const {
+    for (size_t i = 0; i < pres_.params.size(); ++i) {
+      if (pres_.params[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void Opaque(int slot) {
+    WireEffect e;
+    e.kind = WireEffect::Kind::kOpaque;
+    e.slot = slot;
+    effects_.push_back(e);
+  }
+
+  void LowerItem(const PlanItemView& item) {
+    if (!item.flattened) {
+      LowerTop(item.pres, item.type, item.slot);
+      return;
+    }
+    if (item.is_result &&
+        item.type->Resolve()->kind() == TypeKind::kUnion) {
+      if (item.disc_slot < 0) {
+        Opaque(-1);
+        return;
+      }
+      WireEffect e;
+      e.kind = WireEffect::Kind::kDisc;
+      e.slot = item.disc_slot;
+      e.label = item.success_label;
+      e.dest = marshal_ ? WireEffect::Dest::kNone
+                        : WireEffect::Dest::kSlotScalar;
+      effects_.push_back(e);
+    }
+    for (const PlanFieldView& field : item.fields) {
+      if (field.type == nullptr) {
+        Opaque(field.slot);
+        continue;
+      }
+      LowerTop(field.pres, field.type, field.slot);
+    }
+  }
+
+  void LowerTop(const ParamPresentation* pres, const Type* type, int slot) {
+    const Type* t = type->Resolve();
+    if (marshal_ && is_reply_ && pres != nullptr &&
+        pres->dealloc == DeallocPolicy::kAlways) {
+      // DeallocAfterMarshal frees this slot inside the interpreter's
+      // reply loop — a state effect no SpecProgram performs.
+      Opaque(slot);
+      return;
+    }
+    bool special = pres != nullptr && pres->special;
+    switch (t->kind()) {
+      case TypeKind::kVoid:
+        return;
+      case TypeKind::kString: {
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = slot;
+        len.bound = t->bound();
+        if (marshal_) {
+          len.len_src = SpecLenSource::kStrLen;
+          if (pres != nullptr && pres->explicit_length) {
+            int ls = SlotOfName(pres->length_param);
+            if (ls >= 0) {
+              len.len_src = SpecLenSource::kLenSlot;
+              len.len_slot = ls;
+            }
+          }
+        }
+        effects_.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = slot;
+        bytes.special = special;
+        if (!marshal_) {
+          bytes.dest = WireEffect::Dest::kString;
+          bytes.nul_terminated = true;
+        }
+        effects_.push_back(bytes);
+        return;
+      }
+      case TypeKind::kSequence: {
+        if (!IsByteElem(t->element())) {
+          Opaque(slot);  // per-element MarshalValue recursion
+          return;
+        }
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = slot;
+        len.bound = t->bound();
+        if (marshal_) {
+          len.len_src = SpecLenSource::kSlotLength;
+          if (pres != nullptr && pres->explicit_length) {
+            int ls = SlotOfName(pres->length_param);
+            if (ls >= 0) {
+              len.len_src = SpecLenSource::kLenSlot;
+              len.len_slot = ls;
+            }
+          }
+        }
+        effects_.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = slot;
+        bytes.special = special;
+        if (!marshal_) {
+          bytes.dest = WireEffect::Dest::kBuffer;
+          bytes.may_borrow = true;
+        }
+        effects_.push_back(bytes);
+        return;
+      }
+      case TypeKind::kArray: {
+        if (!marshal_) {
+          WireEffect ensure;
+          ensure.kind = WireEffect::Kind::kEnsure;
+          ensure.slot = slot;
+          ensure.count = static_cast<uint32_t>(t->NativeSize());
+          effects_.push_back(ensure);
+        }
+        LowerFixedValue(t, slot, 0, special);
+        return;
+      }
+      case TypeKind::kStruct: {
+        if (!marshal_) {
+          WireEffect ensure;
+          ensure.kind = WireEffect::Kind::kEnsure;
+          ensure.slot = slot;
+          ensure.count = static_cast<uint32_t>(t->NativeSize());
+          effects_.push_back(ensure);
+        }
+        // MarshalValue/UnmarshalValue recursion ignores [special].
+        LowerFixedValue(t, slot, 0, /*special=*/false);
+        return;
+      }
+      case TypeKind::kUnion:
+        Opaque(slot);  // runtime arm selection
+        return;
+      default: {
+        unsigned width = WireScalarWidth(t->kind());
+        if (width == 0) {
+          Opaque(slot);
+          return;
+        }
+        WireEffect e;
+        e.kind = WireEffect::Kind::kScalar;
+        e.width = static_cast<uint8_t>(width);
+        e.slot = slot;
+        e.dest = marshal_ ? WireEffect::Dest::kNone
+                          : WireEffect::Dest::kSlotScalar;
+        effects_.push_back(e);
+        return;
+      }
+    }
+  }
+
+  // Mirror of MarshalValue/UnmarshalValue over fixed-wire-size values:
+  // recursion to scalar loads/stores and raw byte runs at constant
+  // offsets.
+  void LowerFixedValue(const Type* type, int slot, uint32_t offset,
+                       bool special) {
+    const Type* t = type->Resolve();
+    switch (t->kind()) {
+      case TypeKind::kArray: {
+        const Type* elem = t->element();
+        if (IsByteElem(elem)) {
+          WireEffect e;
+          e.kind = WireEffect::Kind::kBytes;
+          e.slot = slot;
+          e.offset = offset;
+          e.count = t->bound();
+          e.fixed = true;
+          e.special = special;
+          if (!marshal_) {
+            e.dest = WireEffect::Dest::kSlotMem;
+          }
+          effects_.push_back(e);
+          return;
+        }
+        size_t stride = elem->NativeSize();
+        for (uint32_t i = 0; i < t->bound(); ++i) {
+          LowerFixedValue(elem, slot,
+                          offset + i * static_cast<uint32_t>(stride),
+                          /*special=*/false);
+        }
+        return;
+      }
+      case TypeKind::kStruct: {
+        for (size_t i = 0; i < t->fields().size(); ++i) {
+          LowerFixedValue(
+              t->fields()[i].type, slot,
+              offset + static_cast<uint32_t>(NativeFieldOffset(t, i)),
+              /*special=*/false);
+        }
+        return;
+      }
+      case TypeKind::kString:
+      case TypeKind::kSequence:
+      case TypeKind::kUnion:
+      case TypeKind::kVoid:
+        Opaque(slot);  // arena-allocating members: not fixed-size
+        return;
+      default: {
+        unsigned width = WireScalarWidth(t->kind());
+        if (width == 0) {
+          Opaque(slot);
+          return;
+        }
+        WireEffect e;
+        e.kind = WireEffect::Kind::kScalar;
+        e.width = static_cast<uint8_t>(width);
+        e.slot = slot;
+        e.offset = offset;
+        e.from_memory = true;
+        e.dest = marshal_ ? WireEffect::Dest::kNone
+                          : WireEffect::Dest::kSlotMem;
+        effects_.push_back(e);
+        return;
+      }
+    }
+  }
+
+  const OpPresentation& pres_;
+  bool marshal_;
+  bool is_reply_;
+  std::vector<WireEffect> effects_;
+};
+
+}  // namespace
+
+std::string WireEffect::ToString() const {
+  switch (kind) {
+    case Kind::kScalar:
+      return StrFormat("scalar(w%u %s slot%d%s dest=%s)", width,
+                       from_memory ? "mem" : "reg", slot,
+                       from_memory
+                           ? StrFormat("+%u", offset).c_str()
+                           : "",
+                       DestName(dest));
+    case Kind::kLenPrefix:
+      return StrFormat("len(slot%d src=%s len_slot%d bound=%u)", slot,
+                       LenSourceName(len_src), len_slot, bound);
+    case Kind::kBytes:
+      return StrFormat(
+          "bytes(slot%d+%u %s%s%s dest=%s%s%s)", slot, offset,
+          fixed ? StrFormat("fixed=%u", count).c_str() : "var",
+          special ? " special" : "", may_borrow ? " borrow" : "",
+          DestName(dest), nul_terminated ? " nul" : "", "");
+    case Kind::kDisc:
+      return StrFormat("disc(slot%d label=%u dest=%s)", slot, label,
+                       DestName(dest));
+    case Kind::kEnsure:
+      return StrFormat("ensure(slot%d %u bytes)", slot, count);
+    case Kind::kOpaque:
+      return StrFormat("opaque(slot%d)", slot);
+  }
+  return "?";
+}
+
+std::vector<WireEffect> PlanStreamEffects(const OperationDecl& op,
+                                          const OpPresentation& pres,
+                                          SpecStream stream) {
+  MarshalProgram program = MarshalProgram::Build(op, pres);
+  MarshalPlanView view = program.Plan();
+  bool marshal = stream == SpecStream::kMarshalRequest ||
+                 stream == SpecStream::kMarshalReply;
+  bool is_reply = stream == SpecStream::kMarshalReply ||
+                  stream == SpecStream::kUnmarshalReply;
+  PlanLowering lowering(pres, marshal, is_reply);
+  return lowering.Lower(is_reply ? view.reply : view.request);
+}
+
+std::vector<WireEffect> SpecStreamEffects(const SpecProgram& prog) {
+  std::vector<WireEffect> effects;
+  for (const SpecOp& op : prog.ops) {
+    switch (op.kind) {
+      case SpecOpKind::kPutScalarSlot:
+      case SpecOpKind::kGetScalarSlot: {
+        WireEffect e;
+        e.kind = WireEffect::Kind::kScalar;
+        e.width = op.width;
+        e.slot = op.slot;
+        e.dest = op.kind == SpecOpKind::kGetScalarSlot
+                     ? WireEffect::Dest::kSlotScalar
+                     : WireEffect::Dest::kNone;
+        effects.push_back(e);
+        break;
+      }
+      case SpecOpKind::kPutScalarMem:
+      case SpecOpKind::kGetScalarMem: {
+        WireEffect e;
+        e.kind = WireEffect::Kind::kScalar;
+        e.width = op.width;
+        e.slot = op.slot;
+        e.offset = op.offset;
+        e.from_memory = true;
+        e.dest = op.kind == SpecOpKind::kGetScalarMem
+                     ? WireEffect::Dest::kSlotMem
+                     : WireEffect::Dest::kNone;
+        effects.push_back(e);
+        break;
+      }
+      case SpecOpKind::kPutBytesFixed:
+      case SpecOpKind::kGetBytesFixed: {
+        WireEffect e;
+        e.kind = WireEffect::Kind::kBytes;
+        e.slot = op.slot;
+        e.offset = op.offset;
+        e.count = op.count;
+        e.fixed = true;
+        e.special = op.special;
+        e.dest = op.kind == SpecOpKind::kGetBytesFixed
+                     ? WireEffect::Dest::kSlotMem
+                     : WireEffect::Dest::kNone;
+        effects.push_back(e);
+        break;
+      }
+      case SpecOpKind::kPutSeqBytes: {
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = op.slot;
+        len.len_src = op.len_src;
+        len.len_slot = op.len_slot;
+        len.bound = op.bound;
+        effects.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = op.slot;
+        bytes.special = op.special;
+        effects.push_back(bytes);
+        break;
+      }
+      case SpecOpKind::kPutString: {
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = op.slot;
+        len.len_src = op.len_src;
+        len.len_slot = op.len_slot;
+        len.bound = op.bound;
+        effects.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = op.slot;
+        bytes.special = op.special;
+        effects.push_back(bytes);
+        break;
+      }
+      case SpecOpKind::kGetSeqBytes: {
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = op.slot;
+        len.bound = op.bound;
+        effects.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = op.slot;
+        bytes.special = op.special;
+        bytes.dest = WireEffect::Dest::kBuffer;
+        bytes.may_borrow = true;
+        effects.push_back(bytes);
+        break;
+      }
+      case SpecOpKind::kGetString: {
+        WireEffect len;
+        len.kind = WireEffect::Kind::kLenPrefix;
+        len.slot = op.slot;
+        len.bound = op.bound;
+        effects.push_back(len);
+        WireEffect bytes;
+        bytes.kind = WireEffect::Kind::kBytes;
+        bytes.slot = op.slot;
+        bytes.special = op.special;
+        bytes.dest = WireEffect::Dest::kString;
+        bytes.nul_terminated = true;
+        effects.push_back(bytes);
+        break;
+      }
+      case SpecOpKind::kPutUnionDisc:
+      case SpecOpKind::kGetUnionDisc: {
+        WireEffect e;
+        e.kind = WireEffect::Kind::kDisc;
+        e.slot = op.slot;
+        e.label = op.label;
+        e.dest = op.kind == SpecOpKind::kGetUnionDisc
+                     ? WireEffect::Dest::kSlotScalar
+                     : WireEffect::Dest::kNone;
+        effects.push_back(e);
+        break;
+      }
+      case SpecOpKind::kEnsureStorage: {
+        WireEffect e;
+        e.kind = WireEffect::Kind::kEnsure;
+        e.slot = op.slot;
+        e.count = op.count;
+        effects.push_back(e);
+        break;
+      }
+    }
+  }
+  return effects;
+}
+
+namespace {
+
+// Classifies one effect-pair divergence into its FLEX2xx code.
+std::string_view DivergenceCode(const WireEffect& plan,
+                                const WireEffect& spec) {
+  bool plan_disc = plan.kind == WireEffect::Kind::kDisc;
+  bool spec_disc = spec.kind == WireEffect::Kind::kDisc;
+  if (plan_disc != spec_disc) {
+    return "FLEX207";
+  }
+  if (plan_disc && spec_disc) {
+    return "FLEX207";  // same kind: slot or label diverged
+  }
+  if (plan.kind != spec.kind) {
+    return "FLEX202";
+  }
+  if (plan.slot != spec.slot || plan.offset != spec.offset ||
+      plan.width != spec.width || plan.from_memory != spec.from_memory) {
+    return "FLEX203";
+  }
+  if (plan.len_src != spec.len_src || plan.len_slot != spec.len_slot ||
+      plan.bound != spec.bound || plan.count != spec.count ||
+      plan.fixed != spec.fixed) {
+    return "FLEX204";
+  }
+  return "FLEX206";  // dest / special / borrow / NUL policy
+}
+
+void ReportFlex(std::string_view code, const std::string& file,
+                std::string message, DiagnosticSink* diags) {
+  const FlexCodeInfo* info = FindFlexCode(code);
+  diags->Report(info != nullptr ? info->severity : DiagSeverity::kError,
+                std::string(code), file, SourcePos{}, std::move(message));
+}
+
+}  // namespace
+
+int VerifySpecPlan(const OperationDecl& op, const OpPresentation& pres,
+                   const SpecPlan& spec_plan, const std::string& file,
+                   DiagnosticSink* diags) {
+  int reported = 0;
+  for (size_t s = 0; s < kSpecStreamCount; ++s) {
+    if (!spec_plan.has_stream[s]) {
+      continue;
+    }
+    SpecStream stream = static_cast<SpecStream>(s);
+    std::vector<WireEffect> plan_fx = PlanStreamEffects(op, pres, stream);
+    std::vector<WireEffect> spec_fx =
+        SpecStreamEffects(spec_plan.streams[s]);
+    std::string where = StrFormat("%s %s", spec_plan.op_name.c_str(),
+                                  std::string(SpecStreamName(stream))
+                                      .c_str());
+    if (plan_fx.size() != spec_fx.size()) {
+      ReportFlex("FLEX201", file,
+                 StrFormat("%s: interpreted plan performs %zu wire "
+                           "effects, specialization performs %zu",
+                           where.c_str(), plan_fx.size(), spec_fx.size()),
+                 diags);
+      ++reported;
+      continue;
+    }
+    for (size_t i = 0; i < plan_fx.size(); ++i) {
+      if (plan_fx[i] == spec_fx[i]) {
+        continue;
+      }
+      ReportFlex(DivergenceCode(plan_fx[i], spec_fx[i]), file,
+                 StrFormat("%s: effect %zu diverges: plan %s vs "
+                           "specialization %s",
+                           where.c_str(), i,
+                           plan_fx[i].ToString().c_str(),
+                           spec_fx[i].ToString().c_str()),
+                 diags);
+      ++reported;
+    }
+  }
+  return reported;
+}
+
+int ReportUnspecializedStreams(const SpecPlan& spec_plan,
+                               const std::string& file,
+                               DiagnosticSink* diags) {
+  int reported = 0;
+  for (size_t s = 0; s < kSpecStreamCount; ++s) {
+    if (spec_plan.has_stream[s] || spec_plan.rejection[s].empty()) {
+      continue;
+    }
+    ReportFlex("FLEX205", file,
+               StrFormat("%s %s: %s", spec_plan.op_name.c_str(),
+                         std::string(SpecStreamName(
+                                         static_cast<SpecStream>(s)))
+                             .c_str(),
+                         spec_plan.rejection[s].c_str()),
+               diags);
+    ++reported;
+  }
+  return reported;
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,109 @@
+// flexcheck stage 3: the flexspec wire-equivalence prover.
+//
+// A flexspec superinstruction stream (src/marshal/spec.h) claims to be
+// byte-for-byte what the interpreted MarshalProgram would put on (or take
+// off) the wire. This pass *proves* the claim before any specialization is
+// emitted: two independent abstract interpreters execute over a symbolic
+// wire buffer —
+//
+//   * the plan side walks the MarshalPlanView + type graph exactly as the
+//     engine's MarshalTop/UnmarshalTop recursion would, and
+//   * the spec side mechanically expands the SpecProgram opcodes —
+//
+// each producing a canonical sequence of WireEffects: "write a 4-byte
+// scalar from slot 2", "emit a length prefix governed by slot 5 with
+// bound 8192", "read `count` bytes into slot memory at offset 12". Every
+// effect is unambiguous about operand, length discipline, and destination
+// policy, so equal effect sequences imply equal wire bytes and equal
+// ArgVec/arena behavior for every input. Any divergence is a hard coded
+// diagnostic (FLEX201–FLEX207) that blocks emission; `idlc --check`
+// reports it. Constructs outside the specializable subset surface as a
+// kOpaque effect on the plan side — a SpecProgram can never match one, so
+// a compiler bug that emits code for an unsupported plan is caught by the
+// same comparison.
+
+#ifndef FLEXRPC_SRC_ANALYSIS_SPEC_VERIFIER_H_
+#define FLEXRPC_SRC_ANALYSIS_SPEC_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/idl/ast.h"
+#include "src/marshal/spec.h"
+#include "src/pdl/presentation.h"
+#include "src/support/diag.h"
+
+namespace flexrpc {
+
+// One symbolic effect on the wire or on call state. The canonical forms
+// both abstract interpreters lower to; field meanings depend on `kind`.
+struct WireEffect {
+  enum class Kind : uint8_t {
+    kScalar,     // one wire scalar moved between the wire and a slot
+    kLenPrefix,  // u32 length prefix governed by `len_src` under `bound`
+    kBytes,      // a byte run (fixed `count` or governed by the previous
+                 //   length prefix), with its copy/destination policy
+    kDisc,       // union discriminant; stream ends unless it == `label`
+    kEnsure,     // unmarshal storage guarantee: slot gets `count` bytes
+    kOpaque,     // plan construct outside the specializable subset
+  };
+  // Unmarshal destination policy for kScalar/kBytes (kNone on marshal).
+  enum class Dest : uint8_t {
+    kNone,        // marshal direction: wire is the destination
+    kSlotScalar,  // args[slot].scalar
+    kSlotMem,     // slot memory at `offset`
+    kBuffer,      // sequence buffer: borrow/caller/arena policy
+    kString,      // string buffer: caller/arena policy + NUL terminator
+  };
+
+  Kind kind = Kind::kOpaque;
+  uint8_t width = 0;      // kScalar: wire width in bytes
+  int slot = -1;          // operand slot
+  uint32_t offset = 0;    // native byte offset for memory operands
+  bool from_memory = false;  // operand loaded from slot memory, not .scalar
+  SpecLenSource len_src = SpecLenSource::kSlotLength;  // kLenPrefix source
+  int len_slot = -1;      // [length_is] slot for kLenSlot
+  uint32_t bound = 0;     // declared bound (0 = unbounded)
+  uint32_t count = 0;     // kBytes fixed runs / kEnsure size
+  bool fixed = false;     // kBytes: count is compile-time constant
+  bool special = false;   // byte run may route through SpecialOps
+  Dest dest = Dest::kNone;
+  bool nul_terminated = false;  // kBytes into kString storage
+  bool may_borrow = false;      // kBytes may alias the message buffer
+  uint32_t label = 0;           // kDisc success label
+
+  bool operator==(const WireEffect&) const = default;
+
+  // Compact rendering for diagnostics, e.g. "scalar(w4 slot2)".
+  std::string ToString() const;
+};
+
+// The interpreted plan's effects for one stream, derived by symbolically
+// executing MarshalProgram::Build(op, pres)'s item walk — independent of
+// CompileSpecPlan, which is the point: the two lowerings meet only at the
+// comparison.
+std::vector<WireEffect> PlanStreamEffects(const OperationDecl& op,
+                                          const OpPresentation& pres,
+                                          SpecStream stream);
+
+// A SpecProgram's effects, by mechanical opcode expansion.
+std::vector<WireEffect> SpecStreamEffects(const SpecProgram& prog);
+
+// Proves every stream `spec_plan` claims against the interpreted plan.
+// Divergences are reported as FLEX201–FLEX207 errors attributed to
+// `file`; returns the number of diagnostics emitted (0 = proven
+// equivalent; emission may proceed).
+int VerifySpecPlan(const OperationDecl& op, const OpPresentation& pres,
+                   const SpecPlan& spec_plan, const std::string& file,
+                   DiagnosticSink* diags);
+
+// Reports a FLEX205 warning (with the compiler's reason) for each stream
+// of `spec_plan` that stayed on the interpreter. Informational: used by
+// `idlc --specialize` logs and tests, never blocks anything.
+int ReportUnspecializedStreams(const SpecPlan& spec_plan,
+                               const std::string& file,
+                               DiagnosticSink* diags);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_ANALYSIS_SPEC_VERIFIER_H_

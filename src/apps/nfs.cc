@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "nfs.flexspec.h"  // generated: idlc --specialize over examples/idl
 #include "src/idl/sema.h"
 #include "src/idl/sunrpc_parser.h"
 #include "src/marshal/layout.h"
@@ -188,6 +189,11 @@ NfsClient::NfsClient(NfsFileServer* server, LinkModel link,
                  diags.ToString().c_str());
     std::abort();
   }
+  // Install the build-time specializations before compiling the programs:
+  // MarshalProgram::Build resolves its SpecKey against the registry once,
+  // at bind time. The explicit call also keeps the generated object out of
+  // the archive linker's dead-object elision.
+  flexspec_nfs::RegisterSpecializations();
   const InterfaceDecl* itf = idl_->FindInterface("NFS_VERSION");
   const OperationDecl* op = itf->FindOp("NFSPROC_READ");
   prog_default_ = std::make_unique<MarshalProgram>(MarshalProgram::Build(
@@ -340,9 +346,13 @@ Result<uint32_t> NfsClient::DecodeReply(StubKind kind,
   return InternalError("unknown stub kind");
 }
 
-Result<NfsClient::ReadStats> NfsClient::ReadFile(StubKind kind) {
+Result<NfsClient::ReadStats> NfsClient::ReadFile(StubKind kind,
+                                                 size_t chunk_bytes) {
   ReadStats stats;
   VirtualClock vclock;
+  if (chunk_bytes == 0 || chunk_bytes > kNfsMaxData) {
+    chunk_bytes = kNfsMaxData;
+  }
   size_t file_size = server_->file_size();
   auto* user_buffer =
       static_cast<uint8_t*>(user_space_->Allocate(file_size));
@@ -350,10 +360,10 @@ Result<NfsClient::ReadStats> NfsClient::ReadFile(StubKind kind) {
   std::memset(fh, 0xFD, sizeof(fh));
 
   double client_seconds = 0;
-  for (size_t offset = 0; offset < file_size; offset += kNfsMaxData) {
+  for (size_t offset = 0; offset < file_size; offset += chunk_bytes) {
     uint32_t count = static_cast<uint32_t>(
-        file_size - offset < kNfsMaxData ? file_size - offset
-                                         : kNfsMaxData);
+        file_size - offset < chunk_bytes ? file_size - offset
+                                         : chunk_bytes);
     ChunkArgs chunk{fh, static_cast<uint32_t>(offset), count,
                     user_buffer + offset};
     uint32_t xid = next_xid_++;

@@ -87,9 +87,12 @@ class NfsClient {
     uint64_t server_executions = 0;
   };
 
-  // Reads the whole file in kNfsMaxData chunks into a user-space buffer,
-  // then verifies the bytes against the server's content.
-  Result<ReadStats> ReadFile(StubKind kind);
+  // Reads the whole file in `chunk_bytes` chunks (clamped to kNfsMaxData)
+  // into a user-space buffer, then verifies the bytes against the server's
+  // content. Small chunks make the per-call marshal overhead dominate —
+  // the regime where specialized marshal code shows up most clearly.
+  Result<ReadStats> ReadFile(StubKind kind,
+                             size_t chunk_bytes = kNfsMaxData);
 
   // Same read, but every RPC travels as a SunRPC datagram through `rpc`'s
   // lossy DatagramChannel with at-most-once retry semantics. The transport

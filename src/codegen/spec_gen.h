@@ -1,0 +1,73 @@
+// flexspec specialization emitter: `idlc --specialize`'s back end.
+//
+// Compiles every (operation × side presentation) of an interface file into
+// SpecPlans (src/marshal/spec.h), optionally keeps only the top-K plans a
+// marshal profile ranks hottest, and emits one C++ translation unit of
+// fused straight-line marshal/unmarshal superinstruction functions plus a
+// RegisterSpecializations() entry point that installs them in the flexspec
+// registry.
+//
+// Proof obligation: emission is gated on the flexcheck stage-3 verifier
+// (src/analysis/spec_verifier.h). Every claimed stream of every plan is
+// proven wire-equivalent to the interpreted MarshalProgram before any code
+// is generated; a single FLEX2xx divergence blocks the whole unit. Streams
+// the spec compiler could not express surface as FLEX205 warnings and the
+// engine keeps interpreting them — never a correctness risk, only a missed
+// speedup.
+
+#ifndef FLEXRPC_SRC_CODEGEN_SPEC_GEN_H_
+#define FLEXRPC_SRC_CODEGEN_SPEC_GEN_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/flexspec_profile.h"
+#include "src/codegen/cpp_gen.h"
+#include "src/idl/ast.h"
+#include "src/marshal/spec.h"
+#include "src/pdl/apply.h"
+#include "src/support/diag.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+struct SpecGenOptions {
+  std::string ns = "flexspec";
+  // Name the generated source #includes; defaults to
+  // "<basename>.flexspec.h" at the idlc driver level.
+  std::string header_name = "generated.flexspec.h";
+  // With a profile: specialize only the hottest `top_k` keys it ranks.
+  // Without one (profile == nullptr): specialize every supported plan.
+  size_t top_k = 8;
+  const MarshalProfile* profile = nullptr;
+  // Test-only hook, applied to each plan after compilation but before
+  // verification: lets tests corrupt a stream and prove the verifier
+  // blocks emission. Never set by the driver.
+  std::function<void(SpecPlan*)> mutate_for_test;
+};
+
+// Per-run accounting for --specialize logs and tests.
+struct SpecGenStats {
+  size_t plans_emitted = 0;
+  size_t streams_emitted = 0;
+  size_t plans_skipped_cold = 0;    // profile present, key below top-K
+  size_t plans_skipped_empty = 0;   // no specializable stream at all
+  std::vector<std::string> notes;   // human-readable per-plan log lines
+};
+
+// Generates the specialization unit for `idl` under both side
+// presentations (identical keys across sides are emitted once). Reports
+// FLEX201–FLEX207 errors and FLEX205 warnings to `diags` attributed to
+// `source_file`; returns a non-OK status — and emits nothing — if any
+// plan fails the equivalence proof. `stats` may be null.
+Result<GeneratedCode> GenerateSpecializations(
+    const InterfaceFile& idl, const PresentationSet& client_pres,
+    const PresentationSet& server_pres, const SpecGenOptions& options,
+    const std::string& source_file, DiagnosticSink* diags,
+    SpecGenStats* stats);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_CODEGEN_SPEC_GEN_H_

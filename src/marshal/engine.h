@@ -112,6 +112,8 @@ struct PlanItemView {
   const ParamPresentation* pres = nullptr;
   std::vector<PlanFieldView> fields;  // flattened struct fields, in order
   int disc_slot = -1;  // flattened union result discriminant
+  uint32_t success_label = 0;  // label of the struct-carrying arm
+  const Type* success_struct = nullptr;
 };
 
 struct MarshalPlanView {
@@ -119,6 +121,13 @@ struct MarshalPlanView {
   std::vector<PlanItemView> request;
   std::vector<PlanItemView> reply;
 };
+
+// flexspec fast path (src/marshal/spec.h): Build looks the plan's SpecKey
+// up in the specialization registry once; per call the entry points
+// dispatch to the registered straight-line function when present and
+// enabled, interpreting otherwise.
+struct SpecFns;
+struct MarshalProfileCell;
 
 class MarshalProgram {
  public:
@@ -165,6 +174,12 @@ class MarshalProgram {
   // Snapshot of the compiled item streams for the plan verifier.
   MarshalPlanView Plan() const;
 
+  // True when Build found a registered flexspec specialization for this
+  // (operation, presentation) key. Dispatch is per entry point (a
+  // registration may cover only some streams) and still honors the
+  // global SetMarshalSpecializationEnabled switch.
+  bool specialized() const { return spec_fns_ != nullptr; }
+
  private:
   // One wire item of the request or reply stream.
   struct FieldSlot {
@@ -207,6 +222,8 @@ class MarshalProgram {
   size_t slot_count_ = 0;
   std::vector<Item> request_items_;
   std::vector<Item> reply_items_;
+  const SpecFns* spec_fns_ = nullptr;       // registry hit, or null
+  MarshalProfileCell* profile_ = nullptr;   // interned per-key counters
 };
 
 }  // namespace flexrpc

@@ -1,0 +1,832 @@
+#include "src/marshal/spec.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/marshal/layout.h"
+#include "src/support/strings.h"
+
+namespace flexrpc {
+
+namespace {
+
+// ---- FNV-1a hashing of the structural plan identity ------------------------
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+struct Hasher {
+  uint64_t h = kFnvOffset;
+
+  void U8(uint8_t v) {
+    h ^= v;
+    h *= kFnvPrime;
+  }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      U8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+};
+
+// Structural wire hash of a type: kinds, bounds, field/arm shapes — never
+// names, which do not affect the bytes. Aliases hash as their targets.
+void HashType(Hasher* h, const Type* type, int depth) {
+  const Type* t = type->Resolve();
+  h->U8(static_cast<uint8_t>(t->kind()));
+  if (depth > 32) {
+    return;  // depth fuse; seed IDLs are nowhere near this
+  }
+  switch (t->kind()) {
+    case TypeKind::kString:
+      h->U32(t->bound());
+      return;
+    case TypeKind::kSequence:
+    case TypeKind::kArray:
+      h->U32(t->bound());
+      HashType(h, t->element(), depth + 1);
+      return;
+    case TypeKind::kStruct:
+      h->U32(static_cast<uint32_t>(t->fields().size()));
+      for (const StructField& f : t->fields()) {
+        HashType(h, f.type, depth + 1);
+      }
+      return;
+    case TypeKind::kUnion:
+      HashType(h, t->discriminant(), depth + 1);
+      h->U32(static_cast<uint32_t>(t->arms().size()));
+      for (const UnionArm& arm : t->arms()) {
+        h->U32(arm.label);
+        h->U8(arm.is_default ? 1 : 0);
+        HashType(h, arm.type, depth + 1);
+      }
+      return;
+    default:
+      return;  // scalar kinds: the kind byte is the whole story
+  }
+}
+
+// Slot index of the named presentation parameter, -1 if absent — the same
+// resolution MarshalProgram::SlotOf performs at run time.
+int SlotOfName(const OpPresentation& pres, std::string_view name) {
+  for (size_t i = 0; i < pres.params.size(); ++i) {
+    if (pres.params[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void HashParamPresentation(Hasher* h, const OpPresentation& pres,
+                           const ParamPresentation& p) {
+  h->U8(static_cast<uint8_t>(p.binding.kind));
+  h->U32(static_cast<uint32_t>(p.binding.param_index + 1));
+  h->U32(static_cast<uint32_t>(p.binding.field_index + 1));
+  h->U8(p.explicit_length ? 1 : 0);
+  h->U32(static_cast<uint32_t>(
+      (p.explicit_length ? SlotOfName(pres, p.length_param) : -1) + 1));
+  h->U8(p.special ? 1 : 0);
+  h->U8(p.trashable ? 1 : 0);
+  h->U8(p.preserved ? 1 : 0);
+  h->U8(p.nonunique ? 1 : 0);
+  h->U8(static_cast<uint8_t>(p.alloc));
+  h->U8(static_cast<uint8_t>(p.dealloc));
+  h->U8(p.presentation_only ? 1 : 0);
+}
+
+}  // namespace
+
+SpecKey ComputeSpecKey(const OperationDecl& op, const OpPresentation& pres) {
+  SpecKey key;
+  {
+    Hasher h;
+    h.U8('O');
+    h.U8(op.oneway ? 1 : 0);
+    h.U32(static_cast<uint32_t>(op.params.size()));
+    for (const ParamDecl& p : op.params) {
+      h.U8(static_cast<uint8_t>(p.dir));
+      HashType(&h, p.type, 0);
+    }
+    HashType(&h, op.result, 0);
+    key.op_hash = h.h;
+  }
+  {
+    Hasher h;
+    h.U8('P');
+    h.U8(pres.args_flattened ? 1 : 0);
+    h.U8(pres.result_flattened ? 1 : 0);
+    h.U8(pres.comm_status ? 1 : 0);
+    h.U32(static_cast<uint32_t>(pres.params.size()));
+    for (const ParamPresentation& p : pres.params) {
+      HashParamPresentation(&h, pres, p);
+    }
+    HashParamPresentation(&h, pres, pres.result);
+    key.pres_hash = h.h;
+  }
+  return key;
+}
+
+unsigned WireScalarWidth(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBool:
+    case TypeKind::kOctet:
+    case TypeKind::kChar:
+      return 1;
+    case TypeKind::kI16:
+    case TypeKind::kU16:
+      return 2;
+    case TypeKind::kI32:
+    case TypeKind::kU32:
+    case TypeKind::kF32:
+    case TypeKind::kEnum:
+      return 4;
+    case TypeKind::kI64:
+    case TypeKind::kU64:
+    case TypeKind::kF64:
+    case TypeKind::kObjRef:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+std::string_view SpecStreamName(SpecStream stream) {
+  switch (stream) {
+    case SpecStream::kMarshalRequest:
+      return "marshal_request";
+    case SpecStream::kUnmarshalRequest:
+      return "unmarshal_request";
+    case SpecStream::kMarshalReply:
+      return "marshal_reply";
+    case SpecStream::kUnmarshalReply:
+      return "unmarshal_reply";
+  }
+  return "?";
+}
+
+std::string_view SpecOpKindName(SpecOpKind kind) {
+  switch (kind) {
+    case SpecOpKind::kPutScalarSlot:
+      return "put_scalar_slot";
+    case SpecOpKind::kPutScalarMem:
+      return "put_scalar_mem";
+    case SpecOpKind::kPutBytesFixed:
+      return "put_bytes_fixed";
+    case SpecOpKind::kPutSeqBytes:
+      return "put_seq_bytes";
+    case SpecOpKind::kPutString:
+      return "put_string";
+    case SpecOpKind::kPutUnionDisc:
+      return "put_union_disc";
+    case SpecOpKind::kGetScalarSlot:
+      return "get_scalar_slot";
+    case SpecOpKind::kGetScalarMem:
+      return "get_scalar_mem";
+    case SpecOpKind::kGetBytesFixed:
+      return "get_bytes_fixed";
+    case SpecOpKind::kGetSeqBytes:
+      return "get_seq_bytes";
+    case SpecOpKind::kGetString:
+      return "get_string";
+    case SpecOpKind::kGetUnionDisc:
+      return "get_union_disc";
+    case SpecOpKind::kEnsureStorage:
+      return "ensure_storage";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsByteElem(const Type* elem) {
+  TypeKind k = elem->Resolve()->kind();
+  return k == TypeKind::kOctet || k == TypeKind::kChar;
+}
+
+// Straight-line budget: a stream longer than this stops being a
+// superinstruction and goes back to the interpreter.
+constexpr size_t kMaxSpecOps = 192;
+
+// Compiles one of the four streams of a plan into SpecOps. Mirrors the
+// exact decision structure of MarshalProgram::MarshalItem/UnmarshalItem —
+// every construct it cannot express as a constant-operand op rejects the
+// stream (it keeps the interpreter; nothing is ever approximated).
+class StreamCompiler {
+ public:
+  StreamCompiler(const OpPresentation& pres, bool marshal, bool is_reply)
+      : pres_(pres), marshal_(marshal), is_reply_(is_reply) {}
+
+  bool Compile(const std::vector<PlanItemView>& items) {
+    for (const PlanItemView& item : items) {
+      if (!AddItem(item)) {
+        return false;
+      }
+    }
+    return ops_.size() <= kMaxSpecOps ||
+           Reject("superinstruction budget exceeded");
+  }
+
+  std::vector<SpecOp> TakeOps() { return std::move(ops_); }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  bool Reject(std::string why) {
+    if (reason_.empty()) {
+      reason_ = std::move(why);
+    }
+    return false;
+  }
+
+  void Emit(SpecOp op) { ops_.push_back(op); }
+
+  bool AddItem(const PlanItemView& item) {
+    if (!item.flattened) {
+      return AddTop(item.pres, item.type, item.slot);
+    }
+    const Type* resolved = item.type->Resolve();
+    if (item.is_result && resolved->kind() == TypeKind::kUnion) {
+      if (item.disc_slot < 0) {
+        return Reject("flattened union result lacks a discriminant slot");
+      }
+      SpecOp op;
+      op.kind = marshal_ ? SpecOpKind::kPutUnionDisc
+                         : SpecOpKind::kGetUnionDisc;
+      op.slot = item.disc_slot;
+      op.label = item.success_label;
+      Emit(op);
+    }
+    for (const PlanFieldView& field : item.fields) {
+      if (field.type == nullptr) {
+        return Reject("flattened item has an unbound field");
+      }
+      if (!AddTop(field.pres, field.type, field.slot)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // One top-level wire value with its own presentation — the unit
+  // MarshalTop/UnmarshalTop handles.
+  bool AddTop(const ParamPresentation* pres, const Type* type, int slot) {
+    const Type* t = type->Resolve();
+    if (marshal_ && is_reply_ && pres != nullptr &&
+        pres->dealloc == DeallocPolicy::kAlways) {
+      // The interpreter's reply epilogue frees donated buffers
+      // (DeallocAfterMarshal); that side effect is not in the
+      // superinstruction vocabulary.
+      return Reject("dealloc(always) requires the interpreter epilogue");
+    }
+    bool special = pres != nullptr && pres->special;
+    switch (t->kind()) {
+      case TypeKind::kVoid:
+        return true;
+      case TypeKind::kString: {
+        SpecOp op;
+        op.slot = slot;
+        op.bound = t->bound();
+        op.special = special;
+        if (marshal_) {
+          op.kind = SpecOpKind::kPutString;
+          op.len_src = SpecLenSource::kStrLen;
+          if (pres != nullptr && pres->explicit_length) {
+            int len_slot = SlotOfName(pres_, pres->length_param);
+            if (len_slot >= 0) {
+              op.len_src = SpecLenSource::kLenSlot;
+              op.len_slot = len_slot;
+            }
+          }
+        } else {
+          op.kind = SpecOpKind::kGetString;
+        }
+        Emit(op);
+        return true;
+      }
+      case TypeKind::kSequence: {
+        if (!IsByteElem(t->element())) {
+          return Reject("sequence of non-byte elements");
+        }
+        SpecOp op;
+        op.slot = slot;
+        op.bound = t->bound();
+        op.special = special;
+        if (marshal_) {
+          op.kind = SpecOpKind::kPutSeqBytes;
+          op.len_src = SpecLenSource::kSlotLength;
+          if (pres != nullptr && pres->explicit_length) {
+            int len_slot = SlotOfName(pres_, pres->length_param);
+            if (len_slot >= 0) {
+              op.len_src = SpecLenSource::kLenSlot;
+              op.len_slot = len_slot;
+            }
+          }
+        } else {
+          op.kind = SpecOpKind::kGetSeqBytes;
+        }
+        Emit(op);
+        return true;
+      }
+      case TypeKind::kArray: {
+        if (!marshal_) {
+          SpecOp ensure;
+          ensure.kind = SpecOpKind::kEnsureStorage;
+          ensure.slot = slot;
+          ensure.count = static_cast<uint32_t>(t->NativeSize());
+          Emit(ensure);
+        }
+        return AddFixedValue(t, slot, 0, special);
+      }
+      case TypeKind::kStruct: {
+        if (!marshal_) {
+          SpecOp ensure;
+          ensure.kind = SpecOpKind::kEnsureStorage;
+          ensure.slot = slot;
+          ensure.count = static_cast<uint32_t>(t->NativeSize());
+          Emit(ensure);
+        }
+        // The interpreter hands structs to MarshalValue/UnmarshalValue,
+        // which never consult [special] — nested byte runs stay plain.
+        return AddFixedValue(t, slot, 0, /*special=*/false);
+      }
+      case TypeKind::kUnion:
+        return Reject("direct union slot needs arm selection at run time");
+      default: {
+        unsigned width = WireScalarWidth(t->kind());
+        if (width == 0) {
+          return Reject(StrFormat("unsupported type kind %s",
+                                  std::string(TypeKindName(t->kind()))
+                                      .c_str()));
+        }
+        SpecOp op;
+        op.kind = marshal_ ? SpecOpKind::kPutScalarSlot
+                           : SpecOpKind::kGetScalarSlot;
+        op.width = static_cast<uint8_t>(width);
+        op.slot = slot;
+        Emit(op);
+        return true;
+      }
+    }
+  }
+
+  // A fixed-wire-size value living in native memory at slot.ptr()+offset:
+  // scalars, byte arrays, scalar arrays, and structs thereof — the subset
+  // MarshalValue/UnmarshalValue handle without arena allocation, unrolled
+  // to constant offsets. `special` applies only to the outermost byte run
+  // of a top-level array (the one place the interpreter routes [special]).
+  bool AddFixedValue(const Type* type, int slot, uint32_t offset,
+                     bool special) {
+    const Type* t = type->Resolve();
+    switch (t->kind()) {
+      case TypeKind::kArray: {
+        const Type* elem = t->element();
+        if (IsByteElem(elem)) {
+          SpecOp op;
+          op.kind = marshal_ ? SpecOpKind::kPutBytesFixed
+                             : SpecOpKind::kGetBytesFixed;
+          op.slot = slot;
+          op.offset = offset;
+          op.count = t->bound();
+          op.special = special;
+          Emit(op);
+          return true;
+        }
+        size_t stride = elem->NativeSize();
+        for (uint32_t i = 0; i < t->bound(); ++i) {
+          if (ops_.size() > kMaxSpecOps) {
+            return Reject("superinstruction budget exceeded");
+          }
+          if (!AddFixedValue(elem, slot,
+                             offset + i * static_cast<uint32_t>(stride),
+                             /*special=*/false)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case TypeKind::kStruct: {
+        for (size_t i = 0; i < t->fields().size(); ++i) {
+          if (ops_.size() > kMaxSpecOps) {
+            return Reject("superinstruction budget exceeded");
+          }
+          if (!AddFixedValue(
+                  t->fields()[i].type, slot,
+                  offset + static_cast<uint32_t>(NativeFieldOffset(t, i)),
+                  /*special=*/false)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case TypeKind::kString:
+      case TypeKind::kSequence:
+      case TypeKind::kUnion:
+      case TypeKind::kVoid:
+        return Reject(StrFormat(
+            "nested %s member is not fixed-size straight-line code",
+            std::string(TypeKindName(t->kind())).c_str()));
+      default: {
+        unsigned width = WireScalarWidth(t->kind());
+        if (width == 0) {
+          return Reject("unsupported nested scalar kind");
+        }
+        SpecOp op;
+        op.kind = marshal_ ? SpecOpKind::kPutScalarMem
+                           : SpecOpKind::kGetScalarMem;
+        op.width = static_cast<uint8_t>(width);
+        op.slot = slot;
+        op.offset = offset;
+        Emit(op);
+        return true;
+      }
+    }
+  }
+
+  const OpPresentation& pres_;
+  bool marshal_;
+  bool is_reply_;
+  std::vector<SpecOp> ops_;
+  std::string reason_;
+};
+
+}  // namespace
+
+SpecPlan CompileSpecPlan(const OperationDecl& op,
+                         const OpPresentation& pres) {
+  SpecPlan plan;
+  plan.key = ComputeSpecKey(op, pres);
+  plan.op_name = op.name;
+  MarshalProgram program = MarshalProgram::Build(op, pres);
+  MarshalPlanView view = program.Plan();
+
+  struct StreamSpec {
+    SpecStream stream;
+    const std::vector<PlanItemView>* items;
+    bool marshal;
+    bool is_reply;
+  };
+  const StreamSpec streams[] = {
+      {SpecStream::kMarshalRequest, &view.request, true, false},
+      {SpecStream::kUnmarshalRequest, &view.request, false, false},
+      {SpecStream::kMarshalReply, &view.reply, true, true},
+      {SpecStream::kUnmarshalReply, &view.reply, false, true},
+  };
+  for (const StreamSpec& s : streams) {
+    StreamCompiler compiler(pres, s.marshal, s.is_reply);
+    size_t index = static_cast<size_t>(s.stream);
+    if (compiler.Compile(*s.items)) {
+      plan.has_stream[index] = true;
+      plan.streams[index].ops = compiler.TakeOps();
+    } else {
+      plan.rejection[index] = compiler.reason();
+    }
+  }
+  return plan;
+}
+
+// ---- Reference executors ---------------------------------------------------
+//
+// These are the operational semantics of the opcode set: the C++ the
+// spec_gen emitter produces is this switch unrolled with every operand
+// folded to a constant. Any behavioral edit here must be mirrored there
+// (the differential sweep in tests/flexspec_test.cc enforces it).
+
+namespace {
+
+void PutScalarWidth(WireWriter* w, uint8_t width, uint64_t bits) {
+  switch (width) {
+    case 1:
+      w->PutU8(static_cast<uint8_t>(bits));
+      return;
+    case 2:
+      w->PutU16(static_cast<uint16_t>(bits));
+      return;
+    case 4:
+      w->PutU32(static_cast<uint32_t>(bits));
+      return;
+    default:
+      w->PutU64(bits);
+      return;
+  }
+}
+
+Result<uint64_t> GetScalarWidth(WireReader* r, uint8_t width) {
+  switch (width) {
+    case 1: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint8_t v, r->GetU8());
+      return static_cast<uint64_t>(v);
+    }
+    case 2: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint16_t v, r->GetU16());
+      return static_cast<uint64_t>(v);
+    }
+    case 4: {
+      FLEXRPC_ASSIGN_OR_RETURN(uint32_t v, r->GetU32());
+      return static_cast<uint64_t>(v);
+    }
+    default:
+      return r->GetU64();
+  }
+}
+
+uint32_t MarshalLength(const SpecOp& op, const ArgVec& args) {
+  switch (op.len_src) {
+    case SpecLenSource::kSlotLength:
+      return args[static_cast<size_t>(op.slot)].length;
+    case SpecLenSource::kLenSlot:
+      return static_cast<uint32_t>(
+          args[static_cast<size_t>(op.len_slot)].scalar);
+    case SpecLenSource::kStrLen: {
+      const char* s = static_cast<const char*>(
+          args[static_cast<size_t>(op.slot)].ptr());
+      return s == nullptr ? 0 : static_cast<uint32_t>(std::strlen(s));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status RunSpecMarshal(const SpecProgram& prog, const ArgVec& args,
+                      WireWriter* w, const SpecialOps* special) {
+  for (const SpecOp& op : prog.ops) {
+    const ArgValue& slot = args[static_cast<size_t>(op.slot)];
+    bool use_special = op.special && special != nullptr &&
+                       special->copy_out != nullptr;
+    switch (op.kind) {
+      case SpecOpKind::kPutScalarSlot:
+        PutScalarWidth(w, op.width, slot.scalar);
+        break;
+      case SpecOpKind::kPutScalarMem: {
+        uint64_t bits = 0;
+        std::memcpy(&bits, static_cast<const uint8_t*>(slot.ptr()) +
+                               op.offset,
+                    op.width);
+        PutScalarWidth(w, op.width, bits);
+        break;
+      }
+      case SpecOpKind::kPutBytesFixed: {
+        const uint8_t* src =
+            static_cast<const uint8_t*>(slot.ptr()) + op.offset;
+        if (use_special) {
+          special->copy_out(w->ReserveBytes(op.count), src, op.count);
+        } else {
+          w->PutBytes(src, op.count);
+        }
+        break;
+      }
+      case SpecOpKind::kPutSeqBytes: {
+        uint32_t len = MarshalLength(op, args);
+        if (op.bound != 0 && len > op.bound) {
+          return InvalidArgumentError(StrFormat(
+              "sequence length %u exceeds bound %u", len, op.bound));
+        }
+        w->PutU32(len);
+        if (use_special) {
+          special->copy_out(w->ReserveBytes(len), slot.ptr(), len);
+        } else {
+          w->PutBytes(slot.ptr(), len);
+        }
+        break;
+      }
+      case SpecOpKind::kPutString: {
+        uint32_t len = MarshalLength(op, args);
+        if (op.bound != 0 && len > op.bound) {
+          return InvalidArgumentError(StrFormat(
+              "string length %u exceeds bound %u", len, op.bound));
+        }
+        w->PutU32(len);
+        if (use_special) {
+          special->copy_out(w->ReserveBytes(len), slot.ptr(), len);
+        } else {
+          w->PutBytes(slot.ptr(), len);
+        }
+        break;
+      }
+      case SpecOpKind::kPutUnionDisc: {
+        uint32_t disc = static_cast<uint32_t>(slot.scalar);
+        w->PutU32(disc);
+        if (disc != op.label) {
+          return Status::Ok();  // alternate arms are void by construction
+        }
+        break;
+      }
+      default:
+        return InternalError("unmarshal opcode in a marshal stream");
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunSpecUnmarshal(const SpecProgram& prog, WireReader* r, Arena* arena,
+                        ArgVec* args, const SpecialOps* special,
+                        bool borrow_bytes) {
+  for (const SpecOp& op : prog.ops) {
+    ArgValue* slot = &(*args)[static_cast<size_t>(op.slot)];
+    bool use_special = op.special && special != nullptr &&
+                       special->copy_in != nullptr;
+    switch (op.kind) {
+      case SpecOpKind::kEnsureStorage:
+        if (slot->ptr() == nullptr) {
+          slot->set_ptr(arena->AllocateBlock(op.count));
+        }
+        break;
+      case SpecOpKind::kGetScalarSlot: {
+        FLEXRPC_ASSIGN_OR_RETURN(uint64_t bits,
+                                 GetScalarWidth(r, op.width));
+        slot->scalar = bits;
+        break;
+      }
+      case SpecOpKind::kGetScalarMem: {
+        FLEXRPC_ASSIGN_OR_RETURN(uint64_t bits,
+                                 GetScalarWidth(r, op.width));
+        std::memcpy(static_cast<uint8_t*>(slot->ptr()) + op.offset, &bits,
+                    op.width);
+        break;
+      }
+      case SpecOpKind::kGetBytesFixed: {
+        FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes,
+                                 r->GetBytes(op.count));
+        uint8_t* dest = static_cast<uint8_t*>(slot->ptr()) + op.offset;
+        if (use_special) {
+          special->copy_in(dest, bytes, op.count);
+        } else {
+          std::memcpy(dest, bytes, op.count);
+        }
+        break;
+      }
+      case SpecOpKind::kGetSeqBytes: {
+        FLEXRPC_ASSIGN_OR_RETURN(uint32_t len, r->GetU32());
+        if (op.bound != 0 && len > op.bound) {
+          return DataLossError(StrFormat(
+              "wire sequence length %u exceeds bound %u", len, op.bound));
+        }
+        FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
+        bool caller_buffer = slot->ptr() != nullptr;
+        if (borrow_bytes && !caller_buffer && !use_special) {
+          slot->set_ptr(bytes);
+          slot->length = len;
+          slot->borrowed = true;
+          break;
+        }
+        void* dest;
+        if (caller_buffer) {
+          if (slot->capacity < len) {
+            return ResourceExhaustedError(StrFormat(
+                "caller buffer (%u bytes) too small for %u-byte sequence",
+                slot->capacity, len));
+          }
+          dest = slot->ptr();
+        } else {
+          dest = arena->AllocateBlock(len > 0 ? len : 1);
+          slot->set_ptr(dest);
+        }
+        if (use_special) {
+          special->copy_in(dest, bytes, len);
+        } else {
+          std::memcpy(dest, bytes, len);
+        }
+        slot->length = len;
+        break;
+      }
+      case SpecOpKind::kGetString: {
+        FLEXRPC_ASSIGN_OR_RETURN(uint32_t len, r->GetU32());
+        if (op.bound != 0 && len > op.bound) {
+          return DataLossError(StrFormat(
+              "wire string length %u exceeds bound %u", len, op.bound));
+        }
+        FLEXRPC_ASSIGN_OR_RETURN(const uint8_t* bytes, r->GetBytes(len));
+        bool caller_buffer = slot->ptr() != nullptr;
+        char* dest;
+        if (caller_buffer) {
+          if (slot->capacity < len + 1) {
+            return ResourceExhaustedError(StrFormat(
+                "caller buffer (%u bytes) too small for %u-byte string",
+                slot->capacity, len));
+          }
+          dest = static_cast<char*>(slot->ptr());
+        } else {
+          dest = static_cast<char*>(arena->AllocateBlock(len + 1));
+          slot->set_ptr(dest);
+        }
+        if (use_special) {
+          special->copy_in(dest, bytes, len);
+        } else {
+          std::memcpy(dest, bytes, len);
+        }
+        dest[len] = '\0';
+        slot->length = len;
+        break;
+      }
+      case SpecOpKind::kGetUnionDisc: {
+        FLEXRPC_ASSIGN_OR_RETURN(uint32_t disc, r->GetU32());
+        slot->scalar = disc;
+        if (disc != op.label) {
+          return Status::Ok();
+        }
+        break;
+      }
+      default:
+        return InternalError("marshal opcode in an unmarshal stream");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- Registry, dispatch switch, profile ------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<SpecKey, SpecFns> fns;
+  std::map<SpecKey, std::unique_ptr<MarshalProfileCell>> profile;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+std::atomic<bool> g_spec_enabled{true};
+
+}  // namespace
+
+bool RegisterSpecialization(const SpecKey& key, const SpecFns& fns) {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.fns.emplace(key, fns).second;
+}
+
+const SpecFns* FindSpecialization(const SpecKey& key) {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.fns.find(key);
+  return it == reg.fns.end() ? nullptr : &it->second;
+}
+
+void UnregisterSpecialization(const SpecKey& key) {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.fns.erase(key);
+}
+
+size_t SpecializationCount() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.fns.size();
+}
+
+void SetMarshalSpecializationEnabled(bool enabled) {
+  g_spec_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MarshalSpecializationEnabled() {
+  return g_spec_enabled.load(std::memory_order_relaxed);
+}
+
+MarshalProfileCell* InternMarshalProfileCell(const SpecKey& key,
+                                             std::string_view op_name) {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.profile.find(key);
+  if (it == reg.profile.end()) {
+    auto cell = std::make_unique<MarshalProfileCell>();
+    cell->key = key;
+    cell->op_name = std::string(op_name);
+    it = reg.profile.emplace(key, std::move(cell)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<MarshalProfileEntry> SnapshotMarshalProfile() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<MarshalProfileEntry> out;
+  out.reserve(reg.profile.size());
+  for (const auto& [key, cell] : reg.profile) {
+    MarshalProfileEntry e;
+    e.key = key;
+    e.op_name = cell->op_name;
+    e.marshal_calls = cell->marshal_calls.load(std::memory_order_relaxed);
+    e.unmarshal_calls =
+        cell->unmarshal_calls.load(std::memory_order_relaxed);
+    e.wire_bytes = cell->wire_bytes.load(std::memory_order_relaxed);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ResetMarshalProfile() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [key, cell] : reg.profile) {
+    (void)key;
+    cell->marshal_calls.store(0, std::memory_order_relaxed);
+    cell->unmarshal_calls.store(0, std::memory_order_relaxed);
+    cell->wire_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace flexrpc

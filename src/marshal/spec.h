@@ -1,0 +1,231 @@
+// flexspec — profile-guided marshal superinstructions.
+//
+// The interpreted MarshalProgram (engine.h) walks one wire item per step,
+// re-deciding type kind, presentation attributes, and length discipline on
+// every call. For hot (operation signature × presentation) pairs that is
+// pure overhead: every decision is already fixed at bind time. flexspec
+// compiles such plans into *superinstructions* — short straight-line
+// programs over a closed opcode set whose every operand (slot, offset,
+// width, bound, length source) is a constant — and `idlc --specialize`
+// emits them as fused C++ functions that register themselves here. The
+// engine looks its (signature, presentation) key up at bind time and
+// dispatches per call: registry hit → straight-line code, miss → the
+// interpreter (gated `marshal.spec.hit/miss` counters).
+//
+// Correctness story (the flexcheck stage-3 prover, src/analysis/
+// spec_verifier.h): a specialization is only emitted after a symbolic
+// wire-effect interpreter proves the SpecProgram byte-for-byte equivalent
+// to the interpreted plan. The executor in this file (RunSpecMarshal /
+// RunSpecUnmarshal) defines the operational semantics the emitted C++ is
+// template-for-template identical to; differential tests drive both
+// against the interpreter over every seed IDL signature.
+//
+// Deliberate semantic difference from the interpreter: specialized
+// streams do not bump the per-opcode `marshal.ops.*` trace counters
+// (counting would reintroduce the interpreter's per-item overhead). The
+// engine instead counts one `marshal.spec.hit` per stream execution and
+// credits `marshal.bytes_*` with the stream's wire delta at dispatch.
+// Wire bytes, statuses, and ArgVec effects are identical.
+
+#ifndef FLEXRPC_SRC_MARSHAL_SPEC_H_
+#define FLEXRPC_SRC_MARSHAL_SPEC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/idl/ast.h"
+#include "src/marshal/engine.h"
+#include "src/pdl/presentation.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// Identity of a bind-time marshal plan: the operation's structural wire
+// contract × the marshal-relevant presentation digest. Names never enter
+// the op hash (two structurally identical operations share specialized
+// code, as they share a combination signature in the paper's scheme); the
+// presentation digest covers every attribute the engine's behavior can
+// depend on, so distinct behaviors never alias.
+struct SpecKey {
+  uint64_t op_hash = 0;
+  uint64_t pres_hash = 0;
+
+  bool operator==(const SpecKey&) const = default;
+  bool operator<(const SpecKey& o) const {
+    return op_hash != o.op_hash ? op_hash < o.op_hash
+                                : pres_hash < o.pres_hash;
+  }
+};
+
+SpecKey ComputeSpecKey(const OperationDecl& op, const OpPresentation& pres);
+
+// Wire width in bytes (1, 2, 4, 8) of a scalar kind, exactly as
+// PutScalarWire/GetScalarWire move it; 0 for non-scalar kinds.
+unsigned WireScalarWidth(TypeKind kind);
+
+// The four per-call entry points a plan compiles to.
+enum class SpecStream : uint8_t {
+  kMarshalRequest = 0,
+  kUnmarshalRequest,
+  kMarshalReply,
+  kUnmarshalReply,
+};
+inline constexpr size_t kSpecStreamCount = 4;
+
+std::string_view SpecStreamName(SpecStream stream);
+
+// The closed superinstruction set. Every operand is fixed at compile time;
+// the only per-call inputs are the ArgVec, the wire, and the runtime
+// [special]/borrow flags the engine entry points already take.
+enum class SpecOpKind : uint8_t {
+  kPutScalarSlot,   // wire scalar from args[slot].scalar
+  kPutScalarMem,    // wire scalar loaded from args[slot].ptr() + offset
+  kPutBytesFixed,   // `count` raw bytes from args[slot].ptr() + offset
+  kPutSeqBytes,     // u32 length prefix + that many bytes from args[slot]
+  kPutString,       // u32 length prefix + string bytes from args[slot]
+  kPutUnionDisc,    // u32 from args[slot].scalar; end-of-stream unless
+                    //   it equals `label` (void alternate arms)
+  kGetScalarSlot,   // wire scalar into args[slot].scalar
+  kGetScalarMem,    // wire scalar stored at args[slot].ptr() + offset
+  kGetBytesFixed,   // `count` raw bytes to args[slot].ptr() + offset
+  kGetSeqBytes,     // u32 length + bytes into the slot (borrow/caller/
+                    //   arena policy identical to the interpreter)
+  kGetString,       // u32 length + bytes + NUL into the slot
+  kGetUnionDisc,    // u32 into args[slot].scalar; end-of-stream unless
+                    //   it equals `label`
+  kEnsureStorage,   // if args[slot].ptr() == null, point it at
+                    //   arena->AllocateBlock(count)
+};
+
+std::string_view SpecOpKindName(SpecOpKind kind);
+
+// Where a marshal-side variable length comes from.
+enum class SpecLenSource : uint8_t {
+  kSlotLength,  // args[slot].length
+  kLenSlot,     // args[len_slot].scalar ([length_is] presentation)
+  kStrLen,      // strlen(args[slot].ptr())
+};
+
+struct SpecOp {
+  SpecOpKind kind = SpecOpKind::kPutScalarSlot;
+  uint8_t width = 4;     // wire scalar width for *Scalar* ops (1/2/4/8)
+  int slot = -1;         // ArgVec slot the op reads or writes
+  uint32_t offset = 0;   // native byte offset for *Mem / *BytesFixed
+  uint32_t count = 0;    // byte count for *BytesFixed / kEnsureStorage
+  uint32_t bound = 0;    // declared length bound (0 = unbounded)
+  SpecLenSource len_src = SpecLenSource::kSlotLength;
+  int len_slot = -1;     // [length_is] slot for kLenSlot
+  uint32_t label = 0;    // union success label for *UnionDisc
+  bool special = false;  // may route through SpecialOps at runtime
+
+  bool operator==(const SpecOp&) const = default;
+};
+
+struct SpecProgram {
+  std::vector<SpecOp> ops;
+};
+
+// One (operation × presentation)'s compiled superinstruction streams.
+// Streams outside the specializable subset are absent, with the reason
+// kept for the FLEX205 diagnostic and for --specialize logs.
+struct SpecPlan {
+  SpecKey key;
+  std::string op_name;
+  bool has_stream[kSpecStreamCount] = {};
+  SpecProgram streams[kSpecStreamCount];
+  std::string rejection[kSpecStreamCount];
+
+  bool AnyStream() const {
+    for (bool has : has_stream) {
+      if (has) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Compiles every specializable stream of (op, pres). Total: a stream the
+// compiler cannot express straight-line is recorded as rejected, never
+// mis-compiled. `op` and `pres` must outlive nothing — the SpecPlan is
+// self-contained.
+SpecPlan CompileSpecPlan(const OperationDecl& op, const OpPresentation& pres);
+
+// Reference executors: the operational semantics of a SpecProgram,
+// instruction-for-instruction what the emitted C++ does. Used by the
+// differential test sweep; generated code never calls these.
+Status RunSpecMarshal(const SpecProgram& prog, const ArgVec& args,
+                      WireWriter* w, const SpecialOps* special);
+Status RunSpecUnmarshal(const SpecProgram& prog, WireReader* r, Arena* arena,
+                        ArgVec* args, const SpecialOps* special,
+                        bool borrow_bytes);
+
+// ---- Registry of compiled-in specializations -------------------------------
+
+using SpecMarshalFn = Status (*)(const ArgVec& args, WireWriter* w,
+                                 const SpecialOps* special);
+using SpecUnmarshalFn = Status (*)(WireReader* r, Arena* arena, ArgVec* args,
+                                   const SpecialOps* special,
+                                   bool borrow_bytes);
+
+// Function table one generated unit registers for one SpecKey. Null slots
+// fall back to the interpreter for that stream.
+struct SpecFns {
+  SpecMarshalFn marshal_request = nullptr;
+  SpecUnmarshalFn unmarshal_request = nullptr;
+  SpecMarshalFn marshal_reply = nullptr;
+  SpecUnmarshalFn unmarshal_reply = nullptr;
+};
+
+// First registration for a key wins (generated units may legitimately
+// overlap, e.g. both sides of one interface); returns false on duplicate.
+bool RegisterSpecialization(const SpecKey& key, const SpecFns& fns);
+const SpecFns* FindSpecialization(const SpecKey& key);
+// Test support: removes one registration (e.g. an executor-backed fake).
+void UnregisterSpecialization(const SpecKey& key);
+size_t SpecializationCount();
+
+// Global dispatch switch, default on. Benches A/B the fast path against
+// the interpreter with this (same program, same wire bytes).
+void SetMarshalSpecializationEnabled(bool enabled);
+bool MarshalSpecializationEnabled();
+
+// ---- Bind-time marshal profile ---------------------------------------------
+//
+// Every MarshalProgram::Build interns a profile cell for its SpecKey; the
+// engine entry points count calls and wire bytes into it while tracing is
+// enabled. BenchHarness serializes the snapshot into BENCH_*.json as the
+// "marshal_profile" section, which `idlc --specialize --profile=` ranks to
+// pick the top-K plans.
+
+struct MarshalProfileCell {
+  SpecKey key;
+  std::string op_name;
+  std::atomic<uint64_t> marshal_calls{0};
+  std::atomic<uint64_t> unmarshal_calls{0};
+  std::atomic<uint64_t> wire_bytes{0};
+};
+
+// Returns the (process-wide) cell for `key`, creating it on first use.
+MarshalProfileCell* InternMarshalProfileCell(const SpecKey& key,
+                                             std::string_view op_name);
+
+struct MarshalProfileEntry {
+  SpecKey key;
+  std::string op_name;
+  uint64_t marshal_calls = 0;
+  uint64_t unmarshal_calls = 0;
+  uint64_t wire_bytes = 0;
+};
+
+// Point-in-time copy, sorted by key for deterministic artifacts.
+std::vector<MarshalProfileEntry> SnapshotMarshalProfile();
+// Zeroes every cell (the bench harness resets at its trace window open).
+void ResetMarshalProfile();
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_MARSHAL_SPEC_H_

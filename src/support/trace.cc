@@ -85,6 +85,8 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "marshal.ops.special",
     "marshal.bytes_marshaled",
     "marshal.bytes_unmarshaled",
+    "marshal.spec.hit",
+    "marshal.spec.miss",
     "fbuf.allocs",
     "fbuf.channel.calls",
     "fbuf.splice_segments",

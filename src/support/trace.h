@@ -112,6 +112,8 @@ enum class TraceCounter : uint16_t {
   kMarshalOpSpecial,         // marshal.ops.special
   kMarshalBytesOut,          // marshal.bytes_marshaled
   kMarshalBytesIn,           // marshal.bytes_unmarshaled
+  kMarshalSpecHits,          // marshal.spec.hit
+  kMarshalSpecMisses,        // marshal.spec.miss
 
   // fbuf: reference passing vs copying.
   kFbufAllocs,               // fbuf.allocs

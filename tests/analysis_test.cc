@@ -7,6 +7,9 @@
 // classes when presentations are built or edited programmatically.
 // Stage 2 (FLEX101-FLEX106) positives corrupt the MarshalPlanView snapshot
 // of a correctly compiled MarshalProgram, bytecode-verifier style.
+// Stage 3 (FLEX201-FLEX207) positives corrupt a compiled SpecPlan's
+// superinstruction streams the same way; the wire-equivalence prover must
+// refuse each class of divergence.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +17,7 @@
 
 #include "src/analysis/flexcheck.h"
 #include "src/analysis/plan_verifier.h"
+#include "src/analysis/spec_verifier.h"
 #include "src/idl/corba_parser.h"
 #include "src/idl/sema.h"
 #include "src/idl/sunrpc_parser.h"
@@ -616,6 +620,179 @@ TEST(PlanVerifierFlattenTest, Flex106MissingUnionDiscriminant) {
   DiagnosticSink diags;
   VerifyMarshalPlan(op, *pres, plan, "nfs.x", &diags);
   EXPECT_GE(diags.CountCode("FLEX106"), 1) << diags.ToString();
+}
+
+// --- stage 3: the flexspec wire-equivalence prover ---
+
+// Positives corrupt one superinstruction of a correctly compiled SpecPlan;
+// each corruption class must map to its own stable FLEX2xx code.
+class SpecVerifierTest : public ::testing::Test {
+ protected:
+  static constexpr char kMiniNfs[] = R"(
+    const NFS_MAXDATA = 8192;
+    const NFS_FHSIZE = 32;
+    enum nfsstat { NFS_OK = 0, NFSERR_IO = 5 };
+    struct nfs_fh { opaque data[NFS_FHSIZE]; };
+    struct fattr { unsigned size; unsigned mtime; };
+    struct readargs {
+      nfs_fh file;
+      unsigned offset;
+      unsigned count;
+      unsigned totalcount;
+    };
+    struct readokres { fattr attributes; opaque data<NFS_MAXDATA>; };
+    union readres switch (nfsstat status) {
+      case NFS_OK: readokres reply;
+      default: void;
+    };
+    program NFS_PROGRAM {
+      version NFS_VERSION {
+        readres NFSPROC_READ(readargs) = 6;
+      } = 2;
+    } = 100003;
+  )";
+
+  void SetUp() override {
+    DiagnosticSink diags;
+    idl_ = ParseSunRpc(kMiniNfs, "nfs.x", &diags);
+    ASSERT_NE(idl_, nullptr) << diags.ToString();
+    ASSERT_TRUE(AnalyzeInterfaceFile(idl_.get(), &diags))
+        << diags.ToString();
+    ASSERT_TRUE(ApplyPdlText(*idl_, Side::kClient,
+                             "[comm_status] int NFSPROC_READ(file, offset, "
+                             "count, totalcount, [special] data, "
+                             "attributes, status);",
+                             "nfs.pdl", &set_, &diags))
+        << diags.ToString();
+    op_ = &idl_->interfaces[0].ops[0];
+    pres_ = set_.Find("NFS_VERSION")->FindOp("NFSPROC_READ");
+    ASSERT_NE(pres_, nullptr);
+    plan_ = CompileSpecPlan(*op_, *pres_);
+  }
+
+  int Verify(DiagnosticSink* diags) {
+    return VerifySpecPlan(*op_, *pres_, plan_, "nfs.x", diags);
+  }
+
+  SpecProgram& Stream(SpecStream s) {
+    return plan_.streams[static_cast<size_t>(s)];
+  }
+
+  // First superinstruction of `kind` in `s`; the fixture's streams are
+  // known to contain each kind the mutations below target.
+  SpecOp& OpOfKind(SpecStream s, SpecOpKind kind) {
+    for (SpecOp& op : Stream(s).ops) {
+      if (op.kind == kind) {
+        return op;
+      }
+    }
+    ADD_FAILURE() << "no " << SpecOpKindName(kind) << " in stream";
+    return Stream(s).ops.front();
+  }
+
+  std::unique_ptr<InterfaceFile> idl_;
+  PresentationSet set_;
+  const OperationDecl* op_ = nullptr;
+  const OpPresentation* pres_ = nullptr;
+  SpecPlan plan_;
+};
+
+TEST_F(SpecVerifierTest, CompiledPlansProveClean) {
+  ASSERT_TRUE(
+      plan_.has_stream[static_cast<size_t>(SpecStream::kMarshalRequest)]);
+  ASSERT_TRUE(
+      plan_.has_stream[static_cast<size_t>(SpecStream::kUnmarshalReply)]);
+  DiagnosticSink diags;
+  EXPECT_EQ(Verify(&diags), 0) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex201EffectCountDiverges) {
+  Stream(SpecStream::kMarshalRequest).ops.pop_back();
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX201"), 1) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex202EffectKindDiverges) {
+  SpecOp& op =
+      OpOfKind(SpecStream::kMarshalRequest, SpecOpKind::kPutScalarSlot);
+  op.kind = SpecOpKind::kPutBytesFixed;  // scalar became a byte run
+  op.count = 4;
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX202"), 1) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex203OperandDiverges) {
+  SpecOp& op =
+      OpOfKind(SpecStream::kMarshalRequest, SpecOpKind::kPutScalarSlot);
+  op.slot += 1;  // reads the neighboring argument
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX203"), 1) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex204LengthDisciplineDiverges) {
+  SpecOp& op =
+      OpOfKind(SpecStream::kUnmarshalReply, SpecOpKind::kGetSeqBytes);
+  op.bound += 4;  // admits wire lengths the plan rejects
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX204"), 1) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex206DestinationPolicyDiverges) {
+  SpecOp& op =
+      OpOfKind(SpecStream::kUnmarshalReply, SpecOpKind::kGetSeqBytes);
+  op.special = !op.special;  // bypasses the [special] copy routine
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX206"), 1) << diags.ToString();
+}
+
+TEST_F(SpecVerifierTest, Flex207UnionDiscriminantDiverges) {
+  SpecOp& op =
+      OpOfKind(SpecStream::kUnmarshalReply, SpecOpKind::kGetUnionDisc);
+  op.label += 1;  // decodes the wrong arm as success
+  DiagnosticSink diags;
+  EXPECT_GE(Verify(&diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX207"), 1) << diags.ToString();
+}
+
+TEST(SpecVerifierRejectionTest, Flex205ReportsUnspecializableStream) {
+  // sequence<long> needs per-element byte swapping the superinstruction
+  // set does not express: the compiler must reject, and the rejection
+  // surfaces as an informational FLEX205 — never as miscompiled code.
+  auto idl =
+      MustParseCorba("interface V { void push(in sequence<long> v); };");
+  PresentationSet set = MustApply(*idl, Side::kClient);
+  const OperationDecl& op = idl->interfaces[0].ops[0];
+  const OpPresentation* pres = set.Find("V")->FindOp("push");
+  ASSERT_NE(pres, nullptr);
+  SpecPlan plan = CompileSpecPlan(op, *pres);
+  EXPECT_FALSE(
+      plan.has_stream[static_cast<size_t>(SpecStream::kMarshalRequest)]);
+  DiagnosticSink diags;
+  // Absent streams are not proof obligations...
+  EXPECT_EQ(VerifySpecPlan(op, *pres, plan, "t.idl", &diags), 0)
+      << diags.ToString();
+  // ...but they are reportable, with the compiler's reason.
+  EXPECT_GE(ReportUnspecializedStreams(plan, "t.idl", &diags), 1);
+  EXPECT_GE(diags.CountCode("FLEX205"), 1) << diags.ToString();
+}
+
+TEST(SpecVerifierCatalogTest, Stage3CodesAreCatalogued) {
+  for (const char* code : {"FLEX201", "FLEX202", "FLEX203", "FLEX204",
+                           "FLEX205", "FLEX206", "FLEX207"}) {
+    const FlexCodeInfo* info = FindFlexCode(code);
+    ASSERT_NE(info, nullptr) << code;
+    // FLEX205 is advice (an unspecialized stream still interprets
+    // correctly); every divergence code is a hard error.
+    EXPECT_EQ(info->severity, std::string_view(code) == "FLEX205"
+                                  ? DiagSeverity::kWarning
+                                  : DiagSeverity::kError)
+        << code;
+  }
 }
 
 // --- bind-time wiring: SetVerifyPlansAtBind ---

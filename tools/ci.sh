@@ -16,6 +16,9 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 echo "== format check =="
 sh tools/format.sh --check
 
+echo "== clang-tidy (analysis + codegen) =="
+sh tools/tidy.sh
+
 run_suite() {
   build_dir=$1
   shift

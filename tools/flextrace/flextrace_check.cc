@@ -48,6 +48,11 @@ constexpr const char* kGatedCounters[] = {
     "rpc.server.dispatches",
     "marshal.bytes_marshaled",
     "marshal.bytes_unmarshaled",
+    // flexspec dispatch: hit/miss split is deterministic for a fixed
+    // workload — a drift means a specialization appeared, vanished, or
+    // stopped matching its plan key.
+    "marshal.spec.hit",
+    "marshal.spec.miss",
     "net.packets",
     "net.bytes_on_wire",
     // Lossy-wire substrate: injected faults and their recovery are

@@ -7,23 +7,38 @@
 //        [--client-pdl client.pdl] [--server-pdl server.pdl]
 //        [--namespace ns] [--out-dir DIR] [--basename NAME]
 //        [--dump-signature] [--check] [--lint] [--advise] [--Werror]
+//        [--specialize] [--profile PATH]... [--spec-top K]
 //
 // Outputs <basename>.flexgen.h and <basename>.flexgen.cc in --out-dir.
 // --check parses, validates, and runs the flexcheck marshal-plan verifier
-// over every compiled (operation, side) program; --lint runs the flexcheck
-// presentation lint (FLEXnnn diagnostics), --advise adds its §4 advisor
-// notes; --Werror makes warnings fail the run; --dump-signature prints the
-// canonical wire signature (hex) of every interface.
+// over every compiled (operation, side) program, plus the stage-3 flexspec
+// equivalence prover over every compiled superinstruction stream; --lint
+// runs the flexcheck presentation lint (FLEXnnn diagnostics), --advise
+// adds its §4 advisor notes; --Werror makes warnings fail the run;
+// --dump-signature prints the canonical wire signature (hex) of every
+// interface.
+//
+// --specialize additionally emits <basename>.flexspec.h/.cc — fused
+// straight-line marshal superinstructions, each proven wire-equivalent to
+// the interpreted plan before emission (divergence blocks the run).
+// --profile feeds BENCH_*.json / REC_*.json artifacts (files or
+// directories, repeatable) so only the hottest --spec-top plans are
+// specialized; without a profile every supported plan is.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/flexcheck.h"
+#include "src/analysis/flexspec_profile.h"
 #include "src/analysis/plan_verifier.h"
+#include "src/analysis/spec_verifier.h"
 #include "src/codegen/cpp_gen.h"
+#include "src/codegen/spec_gen.h"
 #include "src/idl/corba_parser.h"
 #include "src/idl/sema.h"
 #include "src/idl/sunrpc_parser.h"
@@ -47,6 +62,9 @@ struct Options {
   bool lint = false;
   bool advise = false;
   bool werror = false;
+  bool specialize = false;
+  std::vector<std::string> profile_paths;
+  size_t spec_top = 8;
 };
 
 int Usage(const char* argv0) {
@@ -55,7 +73,8 @@ int Usage(const char* argv0) {
       "usage: %s --idl FILE [--sun] [--client-pdl FILE] [--server-pdl "
       "FILE]\n            [--namespace NS] [--out-dir DIR] [--basename "
       "NAME] [--dump-signature]\n            [--check] [--lint] [--advise] "
-      "[--Werror]\n",
+      "[--Werror]\n            [--specialize] [--profile PATH]... "
+      "[--spec-top K]\n",
       argv0);
   return 2;
 }
@@ -136,6 +155,25 @@ int main(int argc, char** argv) {
       opt.advise = true;
     } else if (arg == "--Werror") {
       opt.werror = true;
+    } else if (arg == "--specialize") {
+      opt.specialize = true;
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      opt.profile_paths.emplace_back(v);
+    } else if (arg == "--spec-top") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Usage(argv[0]);
+      }
+      char* end = nullptr;
+      opt.spec_top = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || opt.spec_top == 0) {
+        std::fprintf(stderr, "idlc: bad --spec-top value '%s'\n", v);
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "idlc: unknown option '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -209,7 +247,10 @@ int main(int argc, char** argv) {
   }
   if (opt.check_only) {
     // Audit every (operation, side) marshal program the runtime would
-    // compile at bind time — flexcheck stage 2.
+    // compile at bind time — flexcheck stage 2 — then prove every
+    // compilable superinstruction stream wire-equivalent to it (stage 3,
+    // FLEX2xx). Streams outside the specializable subset stay on the
+    // interpreter; --check only reports them under --specialize.
     for (const flexrpc::InterfaceDecl& itf : idl->interfaces) {
       for (const flexrpc::PresentationSet* set :
            {&client_pres, &server_pres}) {
@@ -219,6 +260,10 @@ int main(int argc, char** argv) {
           flexrpc::MarshalProgram program =
               flexrpc::MarshalProgram::Build(op, *op_pres);
           flexrpc::VerifyProgram(program, opt.idl_path, &diags);
+          flexrpc::SpecPlan spec_plan =
+              flexrpc::CompileSpecPlan(op, *op_pres);
+          flexrpc::VerifySpecPlan(op, *op_pres, spec_plan, opt.idl_path,
+                                  &diags);
         }
       }
     }
@@ -264,5 +309,60 @@ int main(int argc, char** argv) {
   source << generated->source;
   std::fprintf(stderr, "idlc: wrote %s and %s\n", header_path.c_str(),
                source_path.c_str());
+
+  if (!opt.specialize) {
+    return 0;
+  }
+
+  flexrpc::MarshalProfile profile;
+  for (const std::string& path : opt.profile_paths) {
+    flexrpc::Status status = flexrpc::LoadProfilePath(path, &profile);
+    if (!status.ok()) {
+      std::fprintf(stderr, "idlc: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  flexrpc::FinalizeProfile(&profile);
+
+  flexrpc::SpecGenOptions spec_options;
+  spec_options.ns = opt.ns;
+  spec_options.header_name = opt.basename + ".flexspec.h";
+  spec_options.top_k = opt.spec_top;
+  spec_options.profile =
+      opt.profile_paths.empty() ? nullptr : &profile;
+  flexrpc::SpecGenStats spec_stats;
+  flexrpc::DiagnosticSink spec_diags;  // fresh: earlier ones are printed
+  auto spec_generated = flexrpc::GenerateSpecializations(
+      *idl, client_pres, server_pres, spec_options, opt.idl_path,
+      &spec_diags, &spec_stats);
+  // Everything the prover said, warnings (FLEX205) included.
+  if (!spec_diags.diagnostics().empty()) {
+    std::fputs(spec_diags.ToString().c_str(), stderr);
+  }
+  for (const std::string& note : spec_stats.notes) {
+    std::fprintf(stderr, "idlc: specialize: %s\n", note.c_str());
+  }
+  if (!spec_generated.ok()) {
+    std::fprintf(stderr, "idlc: %s\n",
+                 spec_generated.status().ToString().c_str());
+    return 1;
+  }
+  std::string spec_header_path =
+      opt.out_dir + "/" + opt.basename + ".flexspec.h";
+  std::string spec_source_path =
+      opt.out_dir + "/" + opt.basename + ".flexspec.cc";
+  std::ofstream spec_header(spec_header_path, std::ios::binary);
+  std::ofstream spec_source(spec_source_path, std::ios::binary);
+  if (!spec_header || !spec_source) {
+    std::fprintf(stderr, "idlc: cannot write outputs under '%s'\n",
+                 opt.out_dir.c_str());
+    return 1;
+  }
+  spec_header << spec_generated->header;
+  spec_source << spec_generated->source;
+  std::fprintf(stderr,
+               "idlc: wrote %s and %s (%zu plan(s), %zu stream(s))\n",
+               spec_header_path.c_str(), spec_source_path.c_str(),
+               spec_stats.plans_emitted, spec_stats.streams_emitted);
   return 0;
 }
