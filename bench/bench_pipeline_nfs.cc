@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "src/apps/nfs.h"
 #include "src/net/datagram.h"
@@ -44,13 +46,16 @@ constexpr size_t kSmokeSize = 64u << 10;
 
 struct RunResult {
   NfsClient::ReadStats stats;
+  PipelinedTransport::Stats transport_stats;
+  uint32_t final_window = 0;
   double virtual_seconds = 0;
 };
 
 RunResult RunPipelined(uint32_t window, size_t chunk_bytes, size_t file_size,
                        const FaultConfig& to_server,
                        const FaultConfig& to_client,
-                       uint64_t rto_nanos = 20'000'000) {
+                       uint64_t rto_nanos = 20'000'000,
+                       bool adaptive = false) {
   NfsFileServer server(file_size, /*seed=*/1995);
   NfsClient client(&server, LinkModel(), RemoteServerModel());
   VirtualClock clock;
@@ -68,6 +73,14 @@ RunResult RunPipelined(uint32_t window, size_t chunk_bytes, size_t file_size,
   // fixed-RTO congestion collapse — callers pass a larger RTO for large
   // chunks, standing in for the adaptive RTT estimate real NFS used).
   policy.retry.initial_rto_nanos = rto_nanos;
+  if (adaptive) {
+    // The self-tuning transport: Jacobson/Karels RTO + AIMD window. No
+    // per-scenario tuning — only the pre-sample RTO seed and a 5 ms RTO
+    // floor (an NFS-style guard against under-timeout on fast paths).
+    policy.retry.adaptive.enabled = true;
+    policy.retry.adaptive.rtt.initial_rto_nanos = rto_nanos;
+    policy.retry.adaptive.rtt.min_rto_nanos = 5'000'000;
+  }
   PipelinedTransport transport(&channel, NfsFileServer::MakeHandler(&server),
                                RemoteServerModel(), policy, &events);
   auto stats = client.ReadFilePipelined(
@@ -79,6 +92,8 @@ RunResult RunPipelined(uint32_t window, size_t chunk_bytes, size_t file_size,
   }
   RunResult result;
   result.stats = *stats;
+  result.transport_stats = transport.stats();
+  result.final_window = transport.current_window();
   result.virtual_seconds = static_cast<double>(clock.now_nanos()) * 1e-9;
   return result;
 }
@@ -138,11 +153,15 @@ int main(int argc, char** argv) {
             })};
     sweep.push_back(row);
   }
-  // One traced repetition (window=8, clean + lossy) pins the
-  // rpc.pipeline.* counters for the budget gate.
+  // One traced repetition (window=8, clean + lossy, plus one adaptive
+  // lossy run) pins the rpc.pipeline.* and rpc.rtt.*/rpc.cwnd.* counters
+  // for the budget gate. The lossy adaptive run exercises Karn skips
+  // (replies to retransmitted requests) and both AIMD directions.
   harness.Traced([&] {
     (void)RunPipelined(8, 512, kRunSize, FaultConfig{}, FaultConfig{});
     (void)RunPipelined(8, 512, kRunSize, LossyMix(), LossyMix());
+    (void)RunPipelined(8, 512, kRunSize, LossyMix(), LossyMix(),
+                       20'000'000, /*adaptive=*/true);
   });
 
   double serial = sweep[0].result.virtual_seconds;
@@ -174,6 +193,59 @@ int main(int argc, char** argv) {
               big_serial.virtual_seconds, big_windowed.virtual_seconds,
               big_serial.virtual_seconds / big_windowed.virtual_seconds);
 
+  // The congestion-collapse scenario, adaptive vs fixed: 8 KB chunks at
+  // the DEFAULT 20 ms RTO. Once the fixed window queues more reply bytes
+  // than the RTO covers (~3 replies at 6.6 ms wire time each),
+  // healthy-but-queued replies trigger spurious retransmits which add
+  // more queueing — throughput collapses as the window grows. The
+  // adaptive transport gets the same default seed RTO and no tuning: the
+  // estimator lifts the RTO above the queueing delay while AIMD finds
+  // the widest window the pipe sustains.
+  PrintRule();
+  PrintHeader(
+      "Congestion collapse, 8 KB chunks at the default 20 ms RTO: "
+      "fixed windows vs adaptive");
+  std::printf("%-12s %10s %10s %8s %8s\n", "config", "virtual(s)",
+              "goodput", "rexmit", "window");
+  std::vector<Row> collapse;
+  double best_fixed_mbit = 0;
+  for (uint32_t window : kWindows) {
+    Row row{window, harness.Untraced([&] {
+              return RunPipelined(window, 8192, kRunSize, FaultConfig{},
+                                  FaultConfig{});
+            })};
+    collapse.push_back(row);
+    double mbit = static_cast<double>(row.result.stats.bytes_read) * 8 /
+                  row.result.virtual_seconds / 1e6;
+    best_fixed_mbit = std::max(best_fixed_mbit, mbit);
+    std::printf("fixed w=%-4u %10.3f %7.2f Mb %8llu %8u\n", row.window,
+                row.result.virtual_seconds, mbit,
+                static_cast<unsigned long long>(
+                    row.result.transport_stats.retransmits),
+                row.window);
+  }
+  RunResult adaptive_collapse = harness.Untraced([&] {
+    return RunPipelined(16, 8192, kRunSize, FaultConfig{}, FaultConfig{},
+                        20'000'000, /*adaptive=*/true);
+  });
+  double adaptive_mbit =
+      static_cast<double>(adaptive_collapse.stats.bytes_read) * 8 /
+      adaptive_collapse.virtual_seconds / 1e6;
+  std::printf("adaptive     %10.3f %7.2f Mb %8llu %8u  "
+              "(%llu rtt samples, cwnd +%llu/-%llu)\n",
+              adaptive_collapse.virtual_seconds, adaptive_mbit,
+              static_cast<unsigned long long>(
+                  adaptive_collapse.transport_stats.retransmits),
+              adaptive_collapse.final_window,
+              static_cast<unsigned long long>(
+                  adaptive_collapse.transport_stats.rtt_samples),
+              static_cast<unsigned long long>(
+                  adaptive_collapse.transport_stats.cwnd_increases),
+              static_cast<unsigned long long>(
+                  adaptive_collapse.transport_stats.cwnd_decreases));
+  std::printf("adaptive vs best fixed: %.2fx\n",
+              adaptive_mbit / best_fixed_mbit);
+
   // Lossy overlap: the window keeps healthy calls moving while a dropped
   // one waits out its RTO.
   RunResult lossy_serial = harness.Untraced(
@@ -202,6 +274,19 @@ int main(int argc, char** argv) {
                             flexrpc::ExportChromeTrace(recording));
       return 0;
     });
+    // And the adaptive collapse scenario, so CI archives the window
+    // evolution (kRttSample / kCwndChange events) for every run.
+    harness.Untraced([&] {
+      flexrpc::RecorderSession rec_session;
+      (void)RunPipelined(16, 8192, kRunSize, FaultConfig{}, FaultConfig{},
+                         20'000'000, /*adaptive=*/true);
+      flexrpc::Recording recording = rec_session.Stop();
+      harness.WriteArtifact("REC_pipeline_nfs_adaptive.json",
+                            flexrpc::RecordingToJson(recording));
+      harness.WriteArtifact("TRACE_pipeline_nfs_adaptive.json",
+                            flexrpc::ExportChromeTrace(recording));
+      return 0;
+    });
   }
 
   for (const Row& row : sweep) {
@@ -214,6 +299,10 @@ int main(int argc, char** argv) {
   harness.Report("big_chunk_speedup",
                  big_serial.virtual_seconds / big_windowed.virtual_seconds,
                  "x");
+  harness.Report("collapse_best_fixed_mbit", best_fixed_mbit, "Mb/s");
+  harness.Report("collapse_adaptive_mbit", adaptive_mbit, "Mb/s");
+  harness.Report("collapse_adaptive_vs_best_fixed",
+                 adaptive_mbit / best_fixed_mbit, "x");
   harness.Report("lossy_speedup",
                  lossy_serial.virtual_seconds /
                      lossy_windowed.virtual_seconds,

@@ -126,6 +126,18 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
       case RecEvent::kFaultCorrupt:
         call.loss_times.push_back(e.virtual_nanos);
         break;
+      case RecEvent::kRttSample:
+        ++analysis.rtt_samples;
+        break;
+      case RecEvent::kCwndChange:
+        analysis.cwnd.push_back(
+            {e.virtual_nanos, static_cast<uint32_t>(e.a)});
+        if (e.b != 0) {
+          ++analysis.cwnd_decreases;
+        } else {
+          ++analysis.cwnd_increases;
+        }
+        break;
       default:
         break;  // marshal spans are zero-width in virtual time; instants
                 // (dup, delay, rto_fire, reply dispositions) carry no
@@ -248,15 +260,16 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
 
 namespace {
 
-// Time-weighted mean in-flight count per bucket, one character each:
-// '.' = idle, '1'..'9', '+' = ten or more.
-std::string WindowSparkline(const RecordingAnalysis& analysis,
-                            size_t buckets) {
-  if (analysis.window.empty() || analysis.span_nanos == 0) {
+// Time-weighted mean of a step function per bucket, one character each:
+// '.' = zero, '1'..'9', '+' = ten or more. Used for both window occupancy
+// and the AIMD cwnd timeline.
+std::string StepSparkline(const std::vector<WindowSample>& samples,
+                          size_t buckets) {
+  if (samples.empty()) {
     return std::string(buckets, '.');
   }
-  uint64_t begin = analysis.window.front().at_nanos;
-  uint64_t end = analysis.window.back().at_nanos;
+  uint64_t begin = samples.front().at_nanos;
+  uint64_t end = samples.back().at_nanos;
   if (end <= begin) {
     return std::string(buckets, '.');
   }
@@ -270,13 +283,11 @@ std::string WindowSparkline(const RecordingAnalysis& analysis,
     }
     // Integrate the step function over [lo, hi).
     uint64_t weighted = 0;
-    for (size_t i = 0; i < analysis.window.size(); ++i) {
-      uint64_t seg_lo = analysis.window[i].at_nanos;
-      uint64_t seg_hi = i + 1 < analysis.window.size()
-                            ? analysis.window[i + 1].at_nanos
-                            : end;
-      weighted += analysis.window[i].in_flight *
-                  Overlap(seg_lo, seg_hi, lo, hi);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      uint64_t seg_lo = samples[i].at_nanos;
+      uint64_t seg_hi = i + 1 < samples.size() ? samples[i + 1].at_nanos
+                                               : end;
+      weighted += samples[i].in_flight * Overlap(seg_lo, seg_hi, lo, hi);
     }
     uint64_t mean = (weighted + (hi - lo) / 2) / (hi - lo);
     out.push_back(mean == 0 ? '.'
@@ -347,7 +358,22 @@ std::string RenderReport(const RecordingAnalysis& analysis,
                    static_cast<double>(sums[7]) * 1e-9);
 
   out += "\nwindow occupancy ('.'=idle, 1-9 in-flight, '+'=10 or more)\n";
-  out += "  [" + WindowSparkline(analysis, 48) + "]\n";
+  out += "  [" + StepSparkline(analysis.window, 48) + "]\n";
+
+  // Adaptive transports only: the AIMD window's evolution over the run.
+  if (!analysis.cwnd.empty() || analysis.rtt_samples > 0) {
+    out += StrFormat(
+        "\nadaptive transport: %llu rtt samples, cwnd +%llu/-%llu "
+        "(final %u)\n",
+        static_cast<unsigned long long>(analysis.rtt_samples),
+        static_cast<unsigned long long>(analysis.cwnd_increases),
+        static_cast<unsigned long long>(analysis.cwnd_decreases),
+        analysis.cwnd.empty() ? 0u : analysis.cwnd.back().in_flight);
+    if (analysis.cwnd.size() > 1) {
+      out += "cwnd evolution ('.'=n/a, 1-9 window, '+'=10 or more)\n";
+      out += "  [" + StepSparkline(analysis.cwnd, 48) + "]\n";
+    }
+  }
 
   out += "\nper-call breakdown (microseconds)\n";
   out += StrFormat("  %8s %10s %8s %8s %8s %8s %8s %8s %8s %4s %6s %6s\n",

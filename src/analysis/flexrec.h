@@ -62,6 +62,10 @@ struct RecordingAnalysis {
   std::vector<CallBreakdown> calls;  // in submission order
   std::vector<WindowSample> window;  // occupancy timeline, change points
 
+  // AIMD window evolution (kCwndChange events, adaptive transports only;
+  // in_flight carries the new window value). Empty for fixed-window runs.
+  std::vector<WindowSample> cwnd;
+
   uint64_t dropped_events = 0;  // recording truncation carried through
   uint32_t max_in_flight = 0;
   uint64_t span_nanos = 0;  // last event time - first event time
@@ -72,6 +76,11 @@ struct RecordingAnalysis {
   uint64_t total_retransmits = 0;
   uint64_t drop_induced_retransmits = 0;
   uint64_t spurious_retransmits = 0;
+
+  // Adaptive-transport aggregates (kRttSample / kCwndChange events).
+  uint64_t rtt_samples = 0;
+  uint64_t cwnd_increases = 0;
+  uint64_t cwnd_decreases = 0;
 };
 
 // Attributes every call in the recording. Deterministic: same recording,

@@ -21,7 +21,8 @@ PipelinedTransport::PipelinedTransport(DatagramChannel* channel,
                                        EventQueue* events)
     : channel_(channel), endpoint_(std::move(handler)),
       server_model_(server_model), policy_(policy),
-      jitter_(policy.retry.jitter_seed), events_(events) {
+      jitter_(policy.retry.jitter_seed), rtt_(policy.retry.adaptive.rtt),
+      cwnd_(policy.retry.adaptive.window), events_(events) {
   if (policy_.window == 0) {
     policy_.window = 1;
   }
@@ -50,7 +51,7 @@ void PipelinedTransport::Submit(uint32_t xid, ByteSpan request,
   // full window counts against it, exactly as a kernel send queue would.
   pending.call.Arm(policy_.retry, events_->clock()->now_nanos());
   pending.done = std::move(done);
-  if (in_flight_.size() >= policy_.window) {
+  if (in_flight_.size() >= current_window()) {
     ++stats_.window_stalls;
     TraceAdd(TraceCounter::kRpcPipelineWindowStalls);
   }
@@ -59,7 +60,7 @@ void PipelinedTransport::Submit(uint32_t xid, ByteSpan request,
 }
 
 void PipelinedTransport::StartNext() {
-  while (in_flight_.size() < policy_.window && !pending_.empty()) {
+  while (in_flight_.size() < current_window() && !pending_.empty()) {
     PendingCall next = std::move(pending_.front());
     pending_.pop_front();
     uint32_t xid = next.call.xid;
@@ -81,13 +82,21 @@ void PipelinedTransport::TransmitCall(InFlight& f) {
     RecordEvent(RecEvent::kRetransmit, RecEndpoint::kClient, f.call.xid,
                 events_->clock()->now_nanos(), /*a=*/f.call.attempts);
   }
+  f.call.last_tx_nanos = events_->clock()->now_nanos();
   channel_->Send(kAtoB,
                  ByteSpan(f.call.request.data(), f.call.request.size()));
   ArmServerPoll();
   uint64_t now = events_->clock()->now_nanos();
   bool expires = false;
-  uint64_t wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now,
-                                         &expires);
+  uint64_t wait;
+  if (policy_.retry.adaptive.enabled) {
+    // The estimator owns the RTO (and its Karn backoff — see OnRto); the
+    // per-call doubling schedule in ClientCallState is bypassed entirely.
+    wait = ClipRtoWait(rtt_.rto_nanos(), f.call.deadline_nanos, &jitter_,
+                       now, &expires);
+  } else {
+    wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now, &expires);
+  }
   // When the wait was clipped the timer fires at the deadline and OnRto
   // fails the call; no special case needed here.
   uint32_t xid = f.call.xid;
@@ -101,8 +110,21 @@ void PipelinedTransport::OnRto(uint32_t xid) {
   }
   InFlight& f = it->second;
   f.rto_event = EventQueue::kInvalidEvent;
-  RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, xid,
-              events_->clock()->now_nanos(), /*a=*/f.call.attempts);
+  uint64_t now = events_->clock()->now_nanos();
+  RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, xid, now,
+              /*a=*/f.call.attempts);
+  if (policy_.retry.adaptive.enabled && !f.call.DeadlinePassed(now)) {
+    // A genuine timeout (not a timer clipped to the deadline): Karn-backoff
+    // the RTO until the next clean sample, and signal AIMD loss. OnLoss
+    // holds off repeat decreases for one RTO, so a burst of timeouts from
+    // the same congestion episode halves the window once.
+    rtt_.Backoff();
+    if (cwnd_.OnLoss(now, rtt_.rto_nanos())) {
+      ++stats_.cwnd_decreases;
+      RecordEvent(RecEvent::kCwndChange, RecEndpoint::kClient, xid, now,
+                  /*a=*/cwnd_.window(), /*b=*/1);
+    }
+  }
   if (f.call.AttemptsExhausted(policy_.retry)) {
     Complete(xid, UnavailableError(StrFormat(
                       "no reply for xid %u after %u attempts", xid,
@@ -110,7 +132,7 @@ void PipelinedTransport::OnRto(uint32_t xid) {
              {});
     return;
   }
-  if (f.call.DeadlinePassed(events_->clock()->now_nanos())) {
+  if (f.call.DeadlinePassed(now)) {
     Complete(xid, DeadlineExceededError(StrFormat(
                       "deadline passed after %u attempts for xid %u",
                       f.call.attempts, xid)),
@@ -234,8 +256,28 @@ void PipelinedTransport::DrainReplies() {
                {});
       continue;
     }
-    RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid,
-                events_->clock()->now_nanos(), /*a=*/datagram->size());
+    uint64_t now = events_->clock()->now_nanos();
+    if (policy_.retry.adaptive.enabled) {
+      if (it->second.call.attempts == 1) {
+        // Karn's rule: only a reply to a never-retransmitted request is an
+        // unambiguous round-trip measurement.
+        uint64_t sample = now - it->second.call.last_tx_nanos;
+        rtt_.Sample(sample);
+        ++stats_.rtt_samples;
+        RecordEvent(RecEvent::kRttSample, RecEndpoint::kClient, *xid, now,
+                    /*a=*/sample, /*b=*/rtt_.rto_nanos());
+      } else {
+        ++stats_.karn_skips;
+        TraceAdd(TraceCounter::kRpcRttKarnSkips);
+      }
+      if (cwnd_.OnAck()) {
+        ++stats_.cwnd_increases;
+        RecordEvent(RecEvent::kCwndChange, RecEndpoint::kClient, *xid, now,
+                    /*a=*/cwnd_.window(), /*b=*/0);
+      }
+    }
+    RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid, now,
+                /*a=*/datagram->size());
     Complete(*xid, Status::Ok(), std::move(*datagram));
   }
   ArmClientPoll();  // more replies may still be in flight

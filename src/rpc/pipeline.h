@@ -41,6 +41,7 @@
 #include "src/net/datagram.h"
 #include "src/net/link.h"
 #include "src/rpc/retry.h"
+#include "src/rpc/rtt.h"
 #include "src/support/event_queue.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
@@ -48,8 +49,13 @@
 namespace flexrpc {
 
 struct PipelinePolicy {
-  RetryPolicy retry;   // per-call budget, RTO, deadline, jitter
-  uint32_t window = 8; // max calls in flight; 0 is clamped to 1
+  RetryPolicy retry;   // per-call budget, RTO, deadline, jitter — and the
+                       // adaptive A/B switch (retry.adaptive): when
+                       // enabled, the per-call RTO comes from a shared
+                       // Jacobson/Karels estimator and the window below is
+                       // replaced by an AIMD controller clamped to
+                       // [retry.adaptive.window.min_window, .max_window]
+  uint32_t window = 8; // fixed mode: max calls in flight; 0 clamped to 1
 };
 
 class PipelinedTransport {
@@ -73,6 +79,10 @@ class PipelinedTransport {
     uint64_t window_stalls = 0;        // submissions that had to queue
     uint64_t max_in_flight = 0;
     uint64_t events = 0;               // event-queue dispatches
+    uint64_t rtt_samples = 0;          // clean samples fed the estimator
+    uint64_t karn_skips = 0;           // ambiguous replies excluded
+    uint64_t cwnd_increases = 0;       // additive window growth steps
+    uint64_t cwnd_decreases = 0;       // multiplicative halvings
   };
 
   // Switches `channel` into scheduled-delivery mode; do not share it with
@@ -100,6 +110,15 @@ class PipelinedTransport {
   const PipelinePolicy& policy() const { return policy_; }
   VirtualClock* clock() { return channel_->clock(); }
   size_t in_flight() const { return in_flight_.size(); }
+
+  // Adaptive-mode introspection (meaningful when retry.adaptive.enabled).
+  const RttEstimator& rtt() const { return rtt_; }
+  const AimdController& cwnd() const { return cwnd_; }
+  // The admission limit in force right now: the AIMD window in adaptive
+  // mode, the fixed policy window otherwise.
+  uint32_t current_window() const {
+    return policy_.retry.adaptive.enabled ? cwnd_.window() : policy_.window;
+  }
 
  private:
   struct InFlight {
@@ -130,6 +149,8 @@ class PipelinedTransport {
   RemoteServerModel server_model_;
   PipelinePolicy policy_;
   Rng jitter_;
+  RttEstimator rtt_;
+  AimdController cwnd_;
   EventQueue* events_;
 
   std::deque<PendingCall> pending_;              // waiting for a slot

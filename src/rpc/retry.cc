@@ -69,9 +69,8 @@ Result<AtMostOnceEndpoint::Handled> AtMostOnceEndpoint::Handle(
   return Handled{*xid, false, cache_.Find(*xid)};
 }
 
-uint64_t ClientCallState::NextBackoffWait(const RetryPolicy& policy,
-                                          Rng* jitter, uint64_t now_nanos,
-                                          bool* expires) {
+uint64_t ClipRtoWait(uint64_t rto_nanos, uint64_t deadline_nanos,
+                     Rng* jitter, uint64_t now_nanos, bool* expires) {
   if (now_nanos >= deadline_nanos) {
     *expires = true;
     return 0;
@@ -81,6 +80,14 @@ uint64_t ClientCallState::NextBackoffWait(const RetryPolicy& policy,
   if (*expires) {
     wait = deadline_nanos - now_nanos;
   }
+  return wait;
+}
+
+uint64_t ClientCallState::NextBackoffWait(const RetryPolicy& policy,
+                                          Rng* jitter, uint64_t now_nanos,
+                                          bool* expires) {
+  uint64_t wait =
+      ClipRtoWait(rto_nanos, deadline_nanos, jitter, now_nanos, expires);
   rto_nanos = std::min(rto_nanos * 2, policy.max_rto_nanos);
   return wait;
 }
@@ -91,7 +98,7 @@ RetryingTransport::RetryingTransport(DatagramChannel* channel,
                                      RetryPolicy policy)
     : channel_(channel), endpoint_(std::move(handler)),
       server_model_(server_model), policy_(policy),
-      jitter_(policy.jitter_seed) {}
+      jitter_(policy.jitter_seed), rtt_(policy.adaptive.rtt) {}
 
 void RetryingTransport::PumpServer() {
   while (channel_->HasPending(DatagramChannel::Dir::kAtoB)) {
@@ -147,6 +154,7 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
       RecordEvent(RecEvent::kRetransmit, RecEndpoint::kClient, xid,
                   clock->now_nanos(), /*a=*/call.attempts);
     }
+    call.last_tx_nanos = clock->now_nanos();
     channel_->Send(DatagramChannel::Dir::kAtoB,
                    ByteSpan(call.request.data(), call.request.size()));
     PumpServer();
@@ -186,6 +194,21 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
         return complete(DeadlineExceededError(StrFormat(
             "reply for xid %u arrived after the deadline", xid)));
       }
+      if (policy_.adaptive.enabled) {
+        // Karn's rule: only a reply to a never-retransmitted request is an
+        // unambiguous round-trip measurement.
+        if (call.attempts == 1) {
+          uint64_t sample = clock->now_nanos() - call.last_tx_nanos;
+          rtt_.Sample(sample);
+          ++stats_.rtt_samples;
+          RecordEvent(RecEvent::kRttSample, RecEndpoint::kClient, xid,
+                      clock->now_nanos(), /*a=*/sample,
+                      /*b=*/rtt_.rto_nanos());
+        } else {
+          ++stats_.karn_skips;
+          TraceAdd(TraceCounter::kRpcRttKarnSkips);
+        }
+      }
       RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, xid,
                   clock->now_nanos(), /*a=*/datagram->size());
       *reply = std::move(*datagram);
@@ -208,7 +231,16 @@ Status RetryingTransport::Call(uint32_t xid, ByteSpan request,
           xid)));
     }
     bool expires = false;
-    uint64_t wait = call.NextBackoffWait(policy_, &jitter_, now, &expires);
+    uint64_t wait;
+    if (policy_.adaptive.enabled) {
+      wait = ClipRtoWait(rtt_.rto_nanos(), call.deadline_nanos, &jitter_,
+                         now, &expires);
+      // The wait we are about to sit out IS a retransmission timeout:
+      // Karn-backoff the estimator for the next one.
+      rtt_.Backoff();
+    } else {
+      wait = call.NextBackoffWait(policy_, &jitter_, now, &expires);
+    }
     clock->AdvanceNanos(wait);
     stats_.backoff_nanos += wait;
     TraceAdd(TraceCounter::kRpcBackoffNanos, wait);

@@ -44,6 +44,7 @@
 
 #include "src/net/datagram.h"
 #include "src/net/link.h"
+#include "src/rpc/rtt.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 
@@ -56,6 +57,10 @@ struct RetryPolicy {
   uint64_t deadline_nanos = 4'000'000'000;    // 4 s per call, virtual
   uint64_t jitter_seed = 42;                  // deterministic jitter stream
   bool retry_on_corrupt = true;  // false: surface checksum loss as kDataLoss
+  // A/B switch (src/rpc/rtt.h): when adaptive.enabled, the per-call RTO
+  // comes from a shared Jacobson/Karels estimator instead of the fixed
+  // initial_rto_nanos/max_rto_nanos doubling schedule.
+  AdaptiveConfig adaptive;
 };
 
 // Bounded server-side xid reply cache (the at-most-once memory). LRU
@@ -135,6 +140,9 @@ struct ClientCallState {
   uint32_t attempts = 0;         // transmissions so far
   uint64_t rto_nanos = 0;
   uint64_t deadline_nanos = 0;   // absolute, on the virtual clock
+  uint64_t last_tx_nanos = 0;    // most recent transmission time — an RTT
+                                 // sample is reply time minus this, valid
+                                 // only when attempts == 1 (Karn's rule)
 
   void Arm(const RetryPolicy& policy, uint64_t now_nanos) {
     attempts = 0;
@@ -158,6 +166,13 @@ struct ClientCallState {
                            uint64_t now_nanos, bool* expires);
 };
 
+// Shared wait arithmetic for an explicitly supplied RTO (the adaptive
+// path, where the estimator owns backoff): RTO plus up to 25%
+// deterministic jitter, clipped at the deadline with `*expires` reporting
+// the clip. Returns 0 with *expires=true when the deadline already passed.
+uint64_t ClipRtoWait(uint64_t rto_nanos, uint64_t deadline_nanos,
+                     Rng* jitter, uint64_t now_nanos, bool* expires);
+
 class RetryingTransport {
  public:
   struct Stats {
@@ -170,6 +185,8 @@ class RetryingTransport {
     uint64_t dup_cache_misses = 0;   // == server work executions
     uint64_t deadline_expiries = 0;
     uint64_t unavailable_failures = 0;
+    uint64_t rtt_samples = 0;        // clean samples fed to the estimator
+    uint64_t karn_skips = 0;         // ambiguous replies excluded from it
   };
 
   // `channel` and everything reachable from `handler` must outlive the
@@ -186,6 +203,10 @@ class RetryingTransport {
   const Stats& stats() const { return stats_; }
   const RetryPolicy& policy() const { return policy_; }
   VirtualClock* clock() { return channel_->clock(); }
+  // The shared estimator (meaningful when policy.adaptive.enabled): RTT
+  // state accumulates across calls on this transport, like a TCP
+  // connection's, not per call.
+  const RttEstimator& rtt() const { return rtt_; }
 
  private:
   // Drains the server-side queue: validates, deduplicates, executes,
@@ -197,6 +218,7 @@ class RetryingTransport {
   RemoteServerModel server_model_;
   RetryPolicy policy_;
   Rng jitter_;
+  RttEstimator rtt_;
   Stats stats_;
 };
 

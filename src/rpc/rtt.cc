@@ -1,0 +1,95 @@
+#include "src/rpc/rtt.h"
+
+#include <algorithm>
+
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+RttEstimator::RttEstimator(RttConfig config) : config_(config) {
+  RecomputeRto();
+}
+
+void RttEstimator::Sample(uint64_t rtt_nanos) {
+  if (samples_ == 0) {
+    // RFC 6298 §2.2: first measurement seeds both terms.
+    srtt_nanos_ = rtt_nanos;
+    rttvar_nanos_ = rtt_nanos / 2;
+  } else {
+    // rttvar <- 3/4 rttvar + 1/4 |srtt - R| (old srtt, per the RFC),
+    // srtt  <- 7/8 srtt + 1/8 R. Integer division floors each term
+    // independently — deterministic, and exact for the unit tests.
+    uint64_t deviation = srtt_nanos_ > rtt_nanos ? srtt_nanos_ - rtt_nanos
+                                                 : rtt_nanos - srtt_nanos_;
+    rttvar_nanos_ = rttvar_nanos_ - rttvar_nanos_ / 4 + deviation / 4;
+    srtt_nanos_ = srtt_nanos_ - srtt_nanos_ / 8 + rtt_nanos / 8;
+  }
+  ++samples_;
+  TraceAdd(TraceCounter::kRpcRttSamples);
+  // Karn: a valid sample ends the backed-off regime.
+  backoff_shift_ = 0;
+  RecomputeRto();
+}
+
+void RttEstimator::Backoff() {
+  if (backoff_shift_ < 32) {
+    ++backoff_shift_;
+  }
+  RecomputeRto();
+}
+
+void RttEstimator::RecomputeRto() {
+  uint64_t base = samples_ > 0
+                      ? srtt_nanos_ + std::max(config_.granularity_nanos,
+                                               4 * rttvar_nanos_)
+                      : config_.initial_rto_nanos;
+  // Apply the timeout backoff, saturating well below overflow.
+  uint64_t backed = backoff_shift_ < 63 && (base >> (63 - backoff_shift_)) == 0
+                        ? base << backoff_shift_
+                        : config_.max_rto_nanos;
+  uint64_t clamped =
+      std::clamp(backed, config_.min_rto_nanos, config_.max_rto_nanos);
+  if (clamped != backed) {
+    ++clamps_;
+    TraceAdd(TraceCounter::kRpcRttClamps);
+  }
+  rto_nanos_ = clamped;
+}
+
+AimdController::AimdController(AimdConfig config)
+    : config_(config),
+      window_(std::clamp(config.initial_window, config.min_window,
+                         config.max_window)) {}
+
+bool AimdController::OnAck() {
+  ++ack_credit_;
+  if (ack_credit_ < window_) {
+    return false;
+  }
+  ack_credit_ = 0;
+  if (window_ >= config_.max_window) {
+    return false;
+  }
+  ++window_;
+  ++increases_;
+  TraceAdd(TraceCounter::kRpcCwndIncreases);
+  return true;
+}
+
+bool AimdController::OnLoss(uint64_t now_nanos, uint64_t hold_nanos) {
+  if (now_nanos < recovery_until_) {
+    return false;  // still inside the last decrease's recovery period
+  }
+  recovery_until_ = now_nanos + hold_nanos;
+  ack_credit_ = 0;
+  uint32_t halved = std::max(config_.min_window, window_ / 2);
+  if (halved == window_) {
+    return false;  // already at the floor
+  }
+  window_ = halved;
+  ++decreases_;
+  TraceAdd(TraceCounter::kRpcCwndDecreases);
+  return true;
+}
+
+}  // namespace flexrpc

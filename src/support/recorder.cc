@@ -66,6 +66,8 @@ constexpr std::string_view kRecEventNames[kRecEventCount] = {
     "reply_stale",
     "reply_late",
     "call_complete",
+    "rtt_sample",
+    "cwnd_change",
 };
 
 constexpr std::string_view kRecEndpointNames[kRecEndpointCount] = {

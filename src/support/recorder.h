@@ -71,6 +71,10 @@ enum class RecEvent : uint8_t {
   kReplyStale,       // reply matched nothing (late dup)
   kReplyLate,        // reply matched but past deadline
   kCallComplete,     // call left the transport          a=status code
+  kRttSample,        // clean RTT fed the estimator      a=sample ns,
+                     //                                  b=RTO after update
+  kCwndChange,       // AIMD window moved                a=new window,
+                     //                                  b=1 on decrease
   kCount,
 };
 

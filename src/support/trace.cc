@@ -77,6 +77,11 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "rpc.pipeline.out_of_order",
     "rpc.pipeline.window_stalls",
     "rpc.pipeline.events",
+    "rpc.rtt.samples",
+    "rpc.rtt.karn_skips",
+    "rpc.rtt.clamps",
+    "rpc.cwnd.increases",
+    "rpc.cwnd.decreases",
     "marshal.ops.scalar",
     "marshal.ops.bytes",
     "marshal.ops.string",

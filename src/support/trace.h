@@ -102,6 +102,12 @@ enum class TraceCounter : uint16_t {
                              //   beat an older in-flight xid)
   kRpcPipelineWindowStalls,  // rpc.pipeline.window_stalls (waited for a slot)
   kRpcPipelineEvents,        // rpc.pipeline.events (event-queue dispatches)
+  kRpcRttSamples,            // rpc.rtt.samples (clean RTT measurements)
+  kRpcRttKarnSkips,          // rpc.rtt.karn_skips (retransmit-ambiguous
+                             //   replies excluded from estimation)
+  kRpcRttClamps,             // rpc.rtt.clamps (RTO hit a min/max bound)
+  kRpcCwndIncreases,         // rpc.cwnd.increases (additive window growth)
+  kRpcCwndDecreases,         // rpc.cwnd.decreases (multiplicative halvings)
 
   // marshal: interpreter opcode mix.
   kMarshalOpScalar,          // marshal.ops.scalar

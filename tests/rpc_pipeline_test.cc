@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -247,6 +249,163 @@ TEST(PipelinedNfsTest, SpeedupIsDeterministic) {
   uint64_t a = PipelinedReadNanos(8, 512, nullptr);
   uint64_t b = PipelinedReadNanos(8, 512, nullptr);
   EXPECT_EQ(a, b);  // virtual time is a pure function of the inputs
+}
+
+// --- the adaptive transport (ISSUE 7 tentpole) --------------------------
+
+struct NfsRunOutcome {
+  uint64_t virtual_nanos = 0;
+  uint64_t bytes_read = 0;
+  PipelinedTransport::Stats stats;
+  uint32_t final_window = 0;
+};
+
+// The congestion-collapse rig from the bench: 8 KB chunks at the default
+// 20 ms RTO, where a fixed window > ~3 queues more reply wire time than
+// the RTO covers and spuriously retransmits.
+NfsRunOutcome CollapseRun(uint32_t window, bool adaptive) {
+  constexpr size_t kFileSize = 128 * 1024;  // 16 full-size chunks
+  NfsFileServer server(kFileSize, /*seed=*/77);
+  NfsClient client(&server, LinkModel(), RemoteServerModel());
+  VirtualClock clock;
+  DatagramChannel channel(LinkModel(), FaultPlan(), FaultPlan(), &clock);
+  EventQueue events(&clock);
+  PipelinePolicy policy;
+  policy.window = window;
+  policy.retry.deadline_nanos = 60'000'000'000;
+  policy.retry.adaptive.enabled = adaptive;
+  PipelinedTransport rpc(&channel, NfsFileServer::MakeHandler(&server),
+                         RemoteServerModel(), policy, &events);
+  auto stats = client.ReadFilePipelined(NfsClient::StubKind::kHandUserBuffer,
+                                        &rpc, kNfsMaxData);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  NfsRunOutcome outcome;
+  outcome.virtual_nanos = clock.now_nanos();
+  outcome.bytes_read = stats.ok() ? stats->bytes_read : 0;
+  outcome.stats = rpc.stats();
+  outcome.final_window = rpc.current_window();
+  return outcome;
+}
+
+TEST(AdaptivePipelineTest, CollapseRecoveryBeatsEveryFixedWindow) {
+  // The acceptance bar: with zero hand tuning the adaptive transport must
+  // recover at least the best fixed window's throughput — while the fixed
+  // windows above the collapse knee burn spurious retransmits.
+  uint64_t best_fixed_nanos = UINT64_MAX;
+  uint64_t worst_fixed_retransmits = 0;
+  for (uint32_t window : {1u, 2u, 4u, 8u, 16u}) {
+    NfsRunOutcome fixed = CollapseRun(window, /*adaptive=*/false);
+    best_fixed_nanos = std::min(best_fixed_nanos, fixed.virtual_nanos);
+    worst_fixed_retransmits =
+        std::max(worst_fixed_retransmits, fixed.stats.retransmits);
+  }
+  EXPECT_GT(worst_fixed_retransmits, 0u)
+      << "the scenario no longer collapses — tighten it";
+
+  NfsRunOutcome adaptive = CollapseRun(16, /*adaptive=*/true);
+  // Same throughput or better (allow 1% for the ramp-up window).
+  EXPECT_LE(adaptive.virtual_nanos, best_fixed_nanos + best_fixed_nanos / 100)
+      << "adaptive " << adaptive.virtual_nanos << "ns vs best fixed "
+      << best_fixed_nanos << "ns";
+  // And it got there without a single spurious retransmit.
+  EXPECT_EQ(adaptive.stats.retransmits, 0u);
+  EXPECT_GT(adaptive.stats.rtt_samples, 0u);
+  EXPECT_GT(adaptive.stats.cwnd_increases, 0u);
+}
+
+TEST(AdaptivePipelineTest, CleanRunSamplesEveryReplyAndGrowsWindow) {
+  PipelinePolicy policy;
+  policy.retry.adaptive.enabled = true;
+  PipeRig rig{FaultPlan(), FaultPlan(), policy};
+  for (uint32_t xid = 1; xid <= 16; ++xid) {
+    rig.Submit(xid);
+  }
+  ASSERT_TRUE(rig.transport.Drive().ok());
+  const auto& stats = rig.transport.stats();
+  EXPECT_EQ(stats.rtt_samples, 16u);  // every reply was unambiguous
+  EXPECT_EQ(stats.karn_skips, 0u);
+  EXPECT_EQ(stats.cwnd_decreases, 0u);
+  EXPECT_GT(stats.cwnd_increases, 0u);  // AIMD ramped from the initial 2
+  EXPECT_GT(rig.transport.current_window(),
+            rig.transport.cwnd().config().initial_window - 1);
+  EXPECT_TRUE(rig.transport.rtt().has_sample());
+  EXPECT_EQ(rig.transport.rtt().samples(), 16u);
+}
+
+TEST(AdaptivePipelineTest, RetransmitIsKarnSkippedAndHalvesWindow) {
+  // Drop call 1's first request: its reply answers the retransmission, so
+  // the sample is ambiguous (Karn skip), and the RTO fire is a loss signal
+  // that must halve the AIMD window (2 -> 1).
+  FaultPlan to_server;
+  to_server.DropExactly(0, 0);
+  PipelinePolicy policy;
+  policy.retry.adaptive.enabled = true;
+  policy.retry.adaptive.rtt.initial_rto_nanos = 5'000'000;
+  PipeRig rig{std::move(to_server), FaultPlan(), policy};
+  rig.Submit(1);
+  ASSERT_TRUE(rig.transport.Drive().ok());
+  ASSERT_TRUE(rig.results[1].ok()) << rig.results[1].ToString();
+  const auto& stats = rig.transport.stats();
+  EXPECT_EQ(stats.retransmits, 1u);
+  EXPECT_EQ(stats.karn_skips, 1u);
+  EXPECT_EQ(stats.rtt_samples, 0u);  // the only reply was ambiguous
+  EXPECT_EQ(stats.cwnd_decreases, 1u);  // halved 2 -> 1 on the RTO fire
+  // The eventual completion still counts as an ack (delivery evidence,
+  // even though its RTT is ambiguous), and at a window of 1 a single ack
+  // is a full window — so AIMD immediately grew back to 2.
+  EXPECT_EQ(stats.cwnd_increases, 1u);
+  EXPECT_EQ(rig.transport.current_window(), 2u);
+}
+
+TEST(AdaptivePipelineTest, EstimatorRtoTracksTheActualRoundTrip) {
+  // After a clean run the RTO must sit near the measured round trip —
+  // far below the 20 ms pre-sample seed — which is the whole mechanism
+  // that avoids both spurious retransmits and sluggish recovery.
+  PipelinePolicy policy;
+  policy.retry.adaptive.enabled = true;
+  PipeRig rig{FaultPlan(), FaultPlan(), policy};
+  for (uint32_t xid = 1; xid <= 8; ++xid) {
+    rig.Submit(xid);
+  }
+  ASSERT_TRUE(rig.transport.Drive().ok());
+  const RttEstimator& rtt = rig.transport.rtt();
+  ASSERT_TRUE(rtt.has_sample());
+  EXPECT_GT(rtt.srtt_nanos(), 0u);
+  EXPECT_LT(rtt.rto_nanos(), 20'000'000u);  // adapted below the seed
+  EXPECT_GE(rtt.rto_nanos(), rtt.config().min_rto_nanos);
+}
+
+TEST(AdaptivePipelineTest, AdaptiveRunIsDeterministic) {
+  auto run = [] {
+    NfsRunOutcome outcome = CollapseRun(16, /*adaptive=*/true);
+    return outcome;
+  };
+  NfsRunOutcome a = run();
+  NfsRunOutcome b = run();
+  EXPECT_EQ(a.virtual_nanos, b.virtual_nanos);
+  EXPECT_EQ(a.stats.rtt_samples, b.stats.rtt_samples);
+  EXPECT_EQ(a.stats.cwnd_increases, b.stats.cwnd_increases);
+  EXPECT_EQ(a.stats.cwnd_decreases, b.stats.cwnd_decreases);
+  EXPECT_EQ(a.final_window, b.final_window);
+}
+
+TEST(AdaptivePipelineTest, DisabledSwitchLeavesFixedBehaviorUntouched) {
+  // The A/B contract: adaptive off (the default) must reproduce the
+  // pre-adaptive transport exactly, so fixed-window numbers stay benchable.
+  PipelinePolicy policy;
+  policy.window = 4;
+  PipeRig rig{FaultPlan(), FaultPlan(), policy};
+  for (uint32_t xid = 1; xid <= 8; ++xid) {
+    rig.Submit(xid);
+  }
+  ASSERT_TRUE(rig.transport.Drive().ok());
+  const auto& stats = rig.transport.stats();
+  EXPECT_EQ(stats.rtt_samples, 0u);
+  EXPECT_EQ(stats.karn_skips, 0u);
+  EXPECT_EQ(stats.cwnd_increases, 0u);
+  EXPECT_EQ(stats.cwnd_decreases, 0u);
+  EXPECT_EQ(rig.transport.current_window(), 4u);
+  EXPECT_FALSE(rig.transport.rtt().has_sample());
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// RttEstimator / AimdController unit tests (ISSUE 7, satellite 4).
+//
+// The estimator is pure integer arithmetic on virtual-clock nanoseconds,
+// so every srtt/rttvar/RTO value is exact and the tests assert them
+// against hand-computed RFC 6298 sequences — not ranges. The AIMD
+// controller is likewise exact: additive steps, halvings, and the
+// recovery holdoff are all deterministic.
+
+#include <gtest/gtest.h>
+
+#include "src/rpc/retry.h"
+#include "src/rpc/rtt.h"
+#include "src/support/rng.h"
+
+namespace flexrpc {
+namespace {
+
+TEST(RttEstimatorTest, BeforeFirstSampleUsesInitialRto) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_EQ(rtt.rto_nanos(), 20'000'000u);
+  EXPECT_EQ(rtt.samples(), 0u);
+}
+
+TEST(RttEstimatorTest, FirstSampleSeedsSrttAndVariance) {
+  // RFC 6298 §2.2: srtt = R, rttvar = R/2, RTO = srtt + max(G, 4*rttvar).
+  RttEstimator rtt;
+  rtt.Sample(10'000'000);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.srtt_nanos(), 10'000'000u);
+  EXPECT_EQ(rtt.rttvar_nanos(), 5'000'000u);
+  EXPECT_EQ(rtt.rto_nanos(), 30'000'000u);  // 10 ms + 4 * 5 ms / 2... = 3R
+}
+
+TEST(RttEstimatorTest, HandComputedSmoothingSequence) {
+  // srtt <- 7/8 srtt + 1/8 R, rttvar <- 3/4 rttvar + 1/4 |srtt - R|
+  // (old srtt), each term floored independently by integer division.
+  RttEstimator rtt;
+  rtt.Sample(10'000'000);
+
+  rtt.Sample(10'000'000);  // zero deviation
+  EXPECT_EQ(rtt.srtt_nanos(), 10'000'000u);
+  EXPECT_EQ(rtt.rttvar_nanos(), 3'750'000u);  // 5M - 5M/4
+  EXPECT_EQ(rtt.rto_nanos(), 25'000'000u);    // 10M + 4*3.75M
+
+  rtt.Sample(20'000'000);  // deviation 10M against old srtt
+  // rttvar = 3.75M - 937500 + 2.5M = 5312500
+  // srtt   = 10M - 1.25M + 2.5M   = 11250000
+  EXPECT_EQ(rtt.srtt_nanos(), 11'250'000u);
+  EXPECT_EQ(rtt.rttvar_nanos(), 5'312'500u);
+  EXPECT_EQ(rtt.rto_nanos(), 11'250'000u + 4u * 5'312'500u);
+  EXPECT_EQ(rtt.samples(), 3u);
+}
+
+TEST(RttEstimatorTest, SteadyRttDecaysVarianceToGranularityFloor) {
+  // Identical samples decay rttvar by 3/4 per step; once 4*rttvar drops
+  // below G the granularity term takes over: RTO = srtt + G.
+  RttEstimator rtt;
+  for (int i = 0; i < 40; ++i) {
+    rtt.Sample(2'000'000);
+  }
+  EXPECT_EQ(rtt.srtt_nanos(), 2'000'000u);
+  EXPECT_LT(4 * rtt.rttvar_nanos(), rtt.config().granularity_nanos);
+  EXPECT_EQ(rtt.rto_nanos(),
+            2'000'000u + rtt.config().granularity_nanos);
+}
+
+TEST(RttEstimatorTest, BackoffDoublesUntilMaxClamp) {
+  // Karn backoff before any sample: initial 20 ms doubles per timeout and
+  // saturates at the 400 ms ceiling (counted as a clamp).
+  RttEstimator rtt;
+  uint64_t expected = 20'000'000;
+  for (int i = 0; i < 4; ++i) {
+    rtt.Backoff();
+    expected *= 2;
+    EXPECT_EQ(rtt.rto_nanos(), expected);
+  }
+  EXPECT_EQ(rtt.rto_nanos(), 320'000'000u);
+  EXPECT_EQ(rtt.clamps(), 0u);
+  rtt.Backoff();  // 640 ms clamps to 400 ms
+  EXPECT_EQ(rtt.rto_nanos(), 400'000'000u);
+  EXPECT_EQ(rtt.clamps(), 1u);
+  rtt.Backoff();  // stays pinned
+  EXPECT_EQ(rtt.rto_nanos(), 400'000'000u);
+}
+
+TEST(RttEstimatorTest, CleanSampleEndsBackedOffRegime) {
+  // Karn's rule, estimator side: the backed-off RTO stays in force only
+  // until the next unambiguous sample, which recomputes from srtt/rttvar.
+  RttEstimator rtt;
+  rtt.Sample(10'000'000);  // RTO 30 ms
+  rtt.Backoff();
+  rtt.Backoff();
+  EXPECT_EQ(rtt.rto_nanos(), 120'000'000u);  // 30 ms << 2
+  rtt.Sample(10'000'000);
+  EXPECT_EQ(rtt.rto_nanos(), 25'000'000u);  // backoff cleared, not doubled
+}
+
+TEST(RttEstimatorTest, MinRtoClampFloorsFastPaths) {
+  RttConfig config;
+  config.min_rto_nanos = 5'000'000;
+  RttEstimator rtt(config);
+  rtt.Sample(1'000'000);  // base RTO = 1M + 4*500k = 3 ms, under the floor
+  EXPECT_EQ(rtt.rto_nanos(), 5'000'000u);
+  EXPECT_EQ(rtt.clamps(), 1u);
+}
+
+TEST(AimdControllerTest, OneIncreasePerFullWindowOfAcks) {
+  AimdController cwnd;  // initial window 2
+  EXPECT_EQ(cwnd.window(), 2u);
+  EXPECT_FALSE(cwnd.OnAck());  // credit 1 of 2
+  EXPECT_TRUE(cwnd.OnAck());   // full window -> 3
+  EXPECT_EQ(cwnd.window(), 3u);
+  EXPECT_FALSE(cwnd.OnAck());
+  EXPECT_FALSE(cwnd.OnAck());
+  EXPECT_TRUE(cwnd.OnAck());  // three more acks -> 4
+  EXPECT_EQ(cwnd.window(), 4u);
+  EXPECT_EQ(cwnd.increases(), 2u);
+}
+
+TEST(AimdControllerTest, GrowthStopsAtMaxWindow) {
+  AimdConfig config;
+  config.initial_window = 3;
+  config.max_window = 4;
+  AimdController cwnd(config);
+  for (int i = 0; i < 3; ++i) {
+    cwnd.OnAck();
+  }
+  EXPECT_EQ(cwnd.window(), 4u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(cwnd.OnAck());
+  }
+  EXPECT_EQ(cwnd.window(), 4u);
+  EXPECT_EQ(cwnd.increases(), 1u);
+}
+
+TEST(AimdControllerTest, LossHalvesOncePerRecoveryPeriod) {
+  AimdConfig config;
+  config.initial_window = 8;
+  AimdController cwnd(config);
+  EXPECT_TRUE(cwnd.OnLoss(/*now=*/1000, /*hold=*/500));
+  EXPECT_EQ(cwnd.window(), 4u);
+  // Inside the hold period: further loss signals are the same congestion
+  // episode and must not halve again.
+  EXPECT_FALSE(cwnd.OnLoss(1200, 500));
+  EXPECT_FALSE(cwnd.OnLoss(1499, 500));
+  EXPECT_EQ(cwnd.window(), 4u);
+  // Past it: a fresh episode halves again.
+  EXPECT_TRUE(cwnd.OnLoss(1500, 500));
+  EXPECT_EQ(cwnd.window(), 2u);
+  EXPECT_EQ(cwnd.decreases(), 2u);
+}
+
+TEST(AimdControllerTest, LossNeverDropsBelowMinWindow) {
+  AimdController cwnd;  // initial 2, min 1
+  EXPECT_TRUE(cwnd.OnLoss(0, 100));
+  EXPECT_EQ(cwnd.window(), 1u);
+  EXPECT_FALSE(cwnd.OnLoss(1000, 100));  // already at the floor
+  EXPECT_EQ(cwnd.window(), 1u);
+  EXPECT_EQ(cwnd.decreases(), 1u);
+}
+
+TEST(AimdControllerTest, LossResetsAckCredit) {
+  // Three of the four acks toward the next increase, then a loss: the
+  // credit must not survive into the halved window.
+  AimdConfig config;
+  config.initial_window = 4;
+  AimdController cwnd(config);
+  cwnd.OnAck();
+  cwnd.OnAck();
+  cwnd.OnAck();
+  EXPECT_TRUE(cwnd.OnLoss(0, 100));
+  EXPECT_EQ(cwnd.window(), 2u);
+  EXPECT_FALSE(cwnd.OnAck());  // credit restarted at zero
+  EXPECT_TRUE(cwnd.OnAck());
+  EXPECT_EQ(cwnd.window(), 3u);
+}
+
+TEST(ClipRtoWaitTest, JitterStaysWithinQuarterRto) {
+  Rng jitter(7);
+  bool expires = true;
+  uint64_t wait = ClipRtoWait(/*rto=*/20'000'000,
+                              /*deadline=*/1'000'000'000, &jitter,
+                              /*now=*/0, &expires);
+  EXPECT_FALSE(expires);
+  EXPECT_GE(wait, 20'000'000u);
+  EXPECT_LE(wait, 25'000'000u);
+}
+
+TEST(ClipRtoWaitTest, ClipsAtDeadlineAndReportsExpiry) {
+  Rng jitter(7);
+  bool expires = false;
+  uint64_t wait = ClipRtoWait(20'000'000, /*deadline=*/10'000'000, &jitter,
+                              /*now=*/5'000'000, &expires);
+  EXPECT_TRUE(expires);
+  EXPECT_EQ(wait, 5'000'000u);  // exactly to the deadline, no overshoot
+}
+
+TEST(ClipRtoWaitTest, PastDeadlineReturnsZeroWithoutDrawingJitter) {
+  // The already-expired branch must not consume a jitter draw — both
+  // transports rely on the jitter stream being a pure function of the
+  // non-expired waits for run-to-run determinism.
+  Rng reference(7);
+  uint64_t first_draw = reference.NextBelow(20'000'000 / 4 + 1);
+  Rng jitter(7);
+  bool expires = false;
+  EXPECT_EQ(ClipRtoWait(20'000'000, /*deadline=*/100, &jitter,
+                        /*now=*/200, &expires),
+            0u);
+  EXPECT_TRUE(expires);
+  EXPECT_EQ(jitter.NextBelow(20'000'000 / 4 + 1), first_draw);
+}
+
+}  // namespace
+}  // namespace flexrpc

@@ -49,7 +49,13 @@ mkdir -p "$OUT"
 for bin in "$BUILD"/bench/bench_*; do
   [ -x "$bin" ] || continue
   echo "== $(basename "$bin") =="
-  "$bin" $SMOKE $RECORD "--json_dir=$OUT"
+  # Explicit propagation (not just set -e): name the failing binary and
+  # exit with its status so CI logs point at the culprit immediately.
+  "$bin" $SMOKE $RECORD "--json_dir=$OUT" || {
+    status=$?
+    echo "bench.sh: $(basename "$bin") exited $status" >&2
+    exit "$status"
+  }
 done
 
 echo "== artifacts =="

@@ -75,6 +75,14 @@ constexpr const char* kGatedCounters[] = {
     "rpc.pipeline.out_of_order",
     "rpc.pipeline.window_stalls",
     "rpc.pipeline.events",
+    // Adaptive transport: estimator samples, Karn exclusions, RTO clamps,
+    // and AIMD window moves are exact for the seeded bench workloads — a
+    // drift means the control loop's trajectory changed.
+    "rpc.rtt.samples",
+    "rpc.rtt.karn_skips",
+    "rpc.rtt.clamps",
+    "rpc.cwnd.increases",
+    "rpc.cwnd.decreases",
 };
 
 // Histogram *counts* are gated too: the number of observations (marshals,
@@ -151,9 +159,20 @@ uint64_t GatedValueOf(const JsonValue& artifact, const std::string& key) {
 }
 
 struct Options {
+  std::string argv0 = "flextrace_check";
   std::string budgets_path;
   std::string dir = ".";
   bool update = false;
+};
+
+// One out-of-budget counter, kept structured so the failure report can
+// render a unified diff of the budget file against observed reality.
+struct Drift {
+  std::string bench;
+  std::string key;
+  uint64_t want_lo = 0;
+  uint64_t want_hi = 0;
+  uint64_t got = 0;
 };
 
 int Fail(const char* why) {
@@ -165,7 +184,8 @@ int Fail(const char* why) {
 // against the bench's budget entry. Appends human-readable violations.
 void CheckBench(const std::string& bench, const JsonValue& artifact,
                 bool want_smoke, const JsonValue* budget,
-                std::vector<std::string>* violations) {
+                std::vector<std::string>* violations,
+                std::vector<Drift>* drifts) {
   const JsonValue* schema = artifact.Find("schema");
   if (schema == nullptr || schema->string != "flexrpc-bench-v1") {
     violations->push_back(bench + ": missing/unknown schema");
@@ -214,6 +234,7 @@ void CheckBench(const std::string& bench, const JsonValue& artifact,
           name.c_str(), static_cast<unsigned long long>(got),
           static_cast<unsigned long long>(lo),
           static_cast<unsigned long long>(hi)));
+      drifts->push_back(Drift{bench, name, lo, hi, got});
     }
   }
 }
@@ -277,22 +298,49 @@ int Run(const Options& opts) {
   }
 
   std::vector<std::string> violations;
+  std::vector<Drift> drifts;
   for (const auto& [bench, budget] : benches->object) {
     auto artifact = LoadJson(opts.dir + "/BENCH_" + bench + ".json");
     if (!artifact.ok()) {
       violations.push_back(artifact.status().ToString());
       continue;
     }
-    CheckBench(bench, *artifact, want_smoke, &budget, &violations);
+    CheckBench(bench, *artifact, want_smoke, &budget, &violations, &drifts);
   }
   if (!violations.empty()) {
     for (const std::string& v : violations) {
       std::fprintf(stderr, "flextrace_check: FAIL %s\n", v.c_str());
     }
+    if (!drifts.empty()) {
+      // A unified diff of the budget file against observed reality, one
+      // hunk per bench — paste-able into a review to see exactly what the
+      // work change moved.
+      std::fprintf(stderr, "\n--- %s (budget)\n+++ %s (observed)\n",
+                   opts.budgets_path.c_str(), opts.dir.c_str());
+      std::string current_bench;
+      for (const Drift& d : drifts) {
+        if (d.bench != current_bench) {
+          current_bench = d.bench;
+          std::fprintf(stderr, "@@ bench %s @@\n", d.bench.c_str());
+        }
+        if (d.want_lo == d.want_hi) {
+          std::fprintf(stderr, "-  \"%s\": %llu\n", d.key.c_str(),
+                       static_cast<unsigned long long>(d.want_lo));
+        } else {
+          std::fprintf(stderr, "-  \"%s\": [%llu, %llu]\n", d.key.c_str(),
+                       static_cast<unsigned long long>(d.want_lo),
+                       static_cast<unsigned long long>(d.want_hi));
+        }
+        std::fprintf(stderr, "+  \"%s\": %llu\n", d.key.c_str(),
+                     static_cast<unsigned long long>(d.got));
+      }
+    }
     std::fprintf(stderr,
-                 "flextrace_check: %zu violation(s). If the work change "
-                 "is intentional, regenerate with --update.\n",
-                 violations.size());
+                 "\nflextrace_check: %zu violation(s). If the work change "
+                 "is intentional, regenerate the budgets with:\n"
+                 "  %s --budgets=%s --dir=%s --update\n",
+                 violations.size(), opts.argv0.c_str(),
+                 opts.budgets_path.c_str(), opts.dir.c_str());
     return 1;
   }
   std::printf("flextrace_check: %zu bench(es) within budget\n",
@@ -305,6 +353,9 @@ int Run(const Options& opts) {
 
 int main(int argc, char** argv) {
   flexrpc::Options opts;
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '\0') {
+    opts.argv0 = argv[0];
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--budgets=", 10) == 0) {
