@@ -76,20 +76,61 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
 
   std::map<uint32_t, CallEvents> calls;  // keyed by xid
   std::vector<uint32_t> submit_order;
+  uint64_t first_cutover_nanos = 0;
+  bool saw_cutover = false;
+  bool recovery_measured = false;
 
   for (const RecordedEvent* ep : ordered) {
     const RecordedEvent& e = *ep;
+    if (e.replica != 0) {
+      analysis.failover.present = true;
+    }
     CallEvents& call = calls[e.xid];
     switch (e.type) {
       case RecEvent::kCallSubmit:
         call.submit = e.virtual_nanos;
         call.has_submit = true;
         submit_order.push_back(e.xid);
+        if (e.replica != 0) {
+          ++analysis.failover.per_replica_submits[e.replica];
+        }
         break;
       case RecEvent::kCallComplete:
         call.complete = e.virtual_nanos;
         call.has_complete = true;
         call.status_code = e.a;
+        if (saw_cutover && !recovery_measured && e.a == 0) {
+          analysis.failover.cutover_to_recovery_nanos =
+              e.virtual_nanos - first_cutover_nanos;
+          recovery_measured = true;
+        }
+        break;
+      case RecEvent::kFailover:
+        analysis.failover.present = true;
+        switch (e.b) {
+          case 1:
+            ++analysis.failover.suspects;
+            break;
+          case 2:
+            ++analysis.failover.probes_sent;
+            break;
+          case 3:
+            ++analysis.failover.reinstates;
+            break;
+          case 4:
+            ++analysis.failover.cutovers;
+            if (!saw_cutover) {
+              first_cutover_nanos = e.virtual_nanos;
+              saw_cutover = true;
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+      case RecEvent::kRebind:
+        analysis.failover.present = true;
+        ++analysis.failover.rebinds;
         break;
       case RecEvent::kWireTx: {
         bool request = e.endpoint == RecEndpoint::kWireAtoB;
@@ -372,6 +413,33 @@ std::string RenderReport(const RecordingAnalysis& analysis,
     if (analysis.cwnd.size() > 1) {
       out += "cwnd evolution ('.'=n/a, 1-9 window, '+'=10 or more)\n";
       out += "  [" + StepSparkline(analysis.cwnd, 48) + "]\n";
+    }
+  }
+
+  // Managed bindings only: health transitions and live-rebind activity.
+  if (analysis.failover.present) {
+    const auto& fo = analysis.failover;
+    out += StrFormat(
+        "\nfailover (managed binding)\n"
+        "  %llu suspects, %llu probes, %llu reinstates, %llu cutovers, "
+        "%llu rebinds\n",
+        static_cast<unsigned long long>(fo.suspects),
+        static_cast<unsigned long long>(fo.probes_sent),
+        static_cast<unsigned long long>(fo.reinstates),
+        static_cast<unsigned long long>(fo.cutovers),
+        static_cast<unsigned long long>(fo.rebinds));
+    if (fo.cutover_to_recovery_nanos > 0) {
+      out += StrFormat(
+          "  first cutover -> next ok completion: %.3f ms\n",
+          static_cast<double>(fo.cutover_to_recovery_nanos) * 1e-6);
+    }
+    if (!fo.per_replica_submits.empty()) {
+      out += "  submissions per replica:";
+      for (const auto& [tag, count] : fo.per_replica_submits) {
+        out += StrFormat(" r%u=%llu", tag,
+                         static_cast<unsigned long long>(count));
+      }
+      out += "\n";
     }
   }
 

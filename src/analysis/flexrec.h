@@ -20,6 +20,7 @@
 #define FLEXRPC_SRC_ANALYSIS_FLEXREC_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,22 @@ struct RecordingAnalysis {
   uint64_t rtt_samples = 0;
   uint64_t cwnd_increases = 0;
   uint64_t cwnd_decreases = 0;
+
+  // Managed-binding aggregates (kFailover / kRebind events and per-replica
+  // event tags; present only for recordings made through a BinderTransport).
+  struct FailoverSummary {
+    bool present = false;      // any failover/rebind/replica-tagged event
+    uint64_t suspects = 0;     // healthy -> suspect transitions   (b=1)
+    uint64_t probes_sent = 0;  // probe submissions                (b=2)
+    uint64_t reinstates = 0;   // suspect -> healthy transitions   (b=3)
+    uint64_t cutovers = 0;     // new-primary elections            (b=4)
+    uint64_t rebinds = 0;      // live xids migrated across replicas
+    // First cutover to the next successful completion — the recording's
+    // own measure of time-to-recover. 0 when no OK completion followed.
+    uint64_t cutover_to_recovery_nanos = 0;
+    std::map<uint32_t, uint64_t> per_replica_submits;  // tag -> submissions
+  };
+  FailoverSummary failover;
 };
 
 // Attributes every call in the recording. Deterministic: same recording,

@@ -22,6 +22,7 @@
 #include "src/net/link.h"
 #include "src/osim/address_space.h"
 #include "src/pdl/apply.h"
+#include "src/rpc/binder.h"
 #include "src/rpc/pipeline.h"
 #include "src/rpc/retry.h"
 #include "src/support/timing.h"
@@ -114,6 +115,15 @@ class NfsClient {
   // contract as ReadFileLossy.
   Result<ReadStats> ReadFilePipelined(StubKind kind, PipelinedTransport* rpc,
                                       size_t chunk_bytes = kNfsMaxData);
+
+  // The pipelined read over a *managed* binding: chunks are submitted to a
+  // BinderTransport fronting a replica group, so the read survives replica
+  // death mid-transfer — in-flight chunks migrate to a healthy replica and
+  // the delivered bytes still verify against the source file. Transport-
+  // level stats (retransmits, dup-cache activity) are summed across the
+  // group's replicas. Same degradation contract as ReadFilePipelined.
+  Result<ReadStats> ReadFileManaged(StubKind kind, BinderTransport* rpc,
+                                    size_t chunk_bytes = kNfsMaxData);
 
   AddressSpace* user_space() { return user_space_.get(); }
   AddressSpace* kernel_space() { return kernel_space_.get(); }

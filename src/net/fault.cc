@@ -9,6 +9,14 @@ void FaultPlan::DropExactly(uint64_t first, uint64_t last) {
   drop_ranges_.emplace_back(first, last);
 }
 
+void FaultPlan::KillFrom(uint64_t first) {
+  drop_ranges_.emplace_back(first, UINT64_MAX);
+}
+
+void FaultPlan::CorruptExactly(uint64_t first, uint64_t last) {
+  corrupt_ranges_.emplace_back(first, last);
+}
+
 FaultPlan::Decision FaultPlan::Next() {
   uint64_t index = next_index_++;
   Decision d;
@@ -36,6 +44,19 @@ FaultPlan::Decision FaultPlan::Next() {
   for (const auto& [first, last] : drop_ranges_) {
     if (index >= first && index <= last) {
       d.drop = true;
+    }
+  }
+  for (const auto& [first, last] : corrupt_ranges_) {
+    if (index >= first && index <= last) {
+      d.corrupt = true;
+      if (d.corrupt_salt == 0) {
+        // Deterministic per-index salt (SplitMix64 finalizer) so the
+        // flipped byte position depends only on the packet index.
+        uint64_t z = index + 0x9E3779B97F4A7C15ull;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        d.corrupt_salt = z ^ (z >> 31);
+      }
     }
   }
   if (d.drop) {

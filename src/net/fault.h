@@ -43,6 +43,17 @@ class FaultPlan {
   // [first, last] (inclusive), on top of the probabilistic faults.
   void DropExactly(uint64_t first, uint64_t last);
 
+  // Scripted replica death: every packet from 0-based index `first` on is
+  // dropped, forever. Equivalent to DropExactly(first, UINT64_MAX); the
+  // failover suite uses it to kill a server at a precise packet count.
+  void KillFrom(uint64_t first);
+
+  // Scripted corruption: flip one byte in packets with 0-based index in
+  // [first, last] (inclusive). The flipped position comes from a
+  // deterministic per-index salt, so the schedule is a pure function of
+  // the indices — no RNG draws are consumed.
+  void CorruptExactly(uint64_t first, uint64_t last);
+
   // What the wire does to one packet.
   struct Decision {
     bool drop = false;
@@ -68,6 +79,7 @@ class FaultPlan {
   bool probabilistic_ = false;
   uint64_t next_index_ = 0;
   std::vector<std::pair<uint64_t, uint64_t>> drop_ranges_;
+  std::vector<std::pair<uint64_t, uint64_t>> corrupt_ranges_;
 };
 
 }  // namespace flexrpc

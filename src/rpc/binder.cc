@@ -1,0 +1,351 @@
+#include "src/rpc/binder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/recorder.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+ReplicaGroup::ReplicaGroup(std::vector<ReplicaSpec> specs,
+                           PipelinePolicy policy, EventQueue* events)
+    : events_(events) {
+  transports_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    PipelinePolicy p = policy;
+    p.retry.jitter_seed += i;  // decorrelate retransmit jitter per replica
+    auto t = std::make_unique<PipelinedTransport>(
+        specs[i].channel, std::move(specs[i].handler),
+        specs[i].server_model, p, events);
+    t->set_replica_tag(Tag(i));
+    transports_.push_back(std::move(t));
+  }
+}
+
+void BinderTransport::ReplicaObserver::OnRtoFired(uint32_t /*xid*/,
+                                                  uint32_t /*attempts*/) {
+  binder->OnReplicaFailure(replica);
+}
+
+void BinderTransport::ReplicaObserver::OnReplyMatched(uint32_t /*xid*/) {
+  binder->OnReplicaSuccess(replica);
+}
+
+void BinderTransport::ReplicaObserver::OnCorruptReply() {
+  // A corrupt reply proves the replica is alive (it sent *something*), so
+  // it is neither failure nor success evidence for the health machine;
+  // the transport's own RTO/AIMD handling covers the damage.
+}
+
+BinderTransport::BinderTransport(ReplicaGroup* group, BinderPolicy policy)
+    : group_(group), policy_(std::move(policy)), events_(group->events()) {
+  size_t n = group_->size();
+  trackers_.assign(n, FailoverTracker(policy_.failover));
+  probe_outstanding_.assign(n, false);
+  probe_event_.assign(n, EventQueue::kInvalidEvent);
+  stats_.per_replica_calls.assign(n, 0);
+  observers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto obs = std::make_unique<ReplicaObserver>();
+    obs->binder = this;
+    obs->replica = i;
+    group_->transport(i)->set_observer(obs.get());
+    observers_.push_back(std::move(obs));
+  }
+}
+
+BinderTransport::~BinderTransport() {
+  for (size_t i = 0; i < group_->size(); ++i) {
+    group_->transport(i)->set_observer(nullptr);
+    if (probe_event_[i] != EventQueue::kInvalidEvent) {
+      events_->Cancel(probe_event_[i]);
+    }
+  }
+}
+
+uint64_t BinderTransport::Now() { return events_->clock()->now_nanos(); }
+
+size_t BinderTransport::PickReplica() {
+  size_t n = group_->size();
+  if (policy_.routing == BinderPolicy::Routing::kRoundRobin) {
+    // Rotate, skipping unhealthy replicas; if none are healthy, fall back
+    // to the cursor position (the call will retry there and either get
+    // through or feed more failure evidence).
+    for (size_t step = 0; step < n; ++step) {
+      size_t candidate = (rr_next_ + step) % n;
+      if (trackers_[candidate].healthy()) {
+        rr_next_ = (candidate + 1) % n;
+        return candidate;
+      }
+    }
+    size_t candidate = rr_next_;
+    rr_next_ = (rr_next_ + 1) % n;
+    return candidate;
+  }
+  // Primary-backup: the primary takes everything while healthy; otherwise
+  // the lowest-indexed healthy replica stands in (Cutover makes that
+  // stand-in official for in-flight calls too).
+  if (trackers_[primary_].healthy()) {
+    return primary_;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (trackers_[i].healthy()) {
+      return i;
+    }
+  }
+  return primary_;
+}
+
+void BinderTransport::Submit(uint32_t xid, ByteSpan request,
+                             Completion done) {
+  ++stats_.calls;
+  TraceAdd(TraceCounter::kRpcBinderCalls);
+  BoundCall call;
+  call.request.assign(request.begin(), request.end());
+  call.done = std::move(done);
+  calls_.emplace(xid, std::move(call));
+  SubmitToReplica(xid, PickReplica());
+}
+
+void BinderTransport::SubmitToReplica(uint32_t xid, size_t replica) {
+  BoundCall& call = calls_.at(xid);
+  call.replica = replica;
+  ++stats_.per_replica_calls[replica];
+  group_->transport(replica)->Submit(
+      xid, ByteSpan(call.request.data(), call.request.size()),
+      [this, xid, replica](Status status, std::vector<uint8_t> reply) {
+        OnInnerComplete(xid, replica, std::move(status), std::move(reply));
+      });
+}
+
+void BinderTransport::OnInnerComplete(uint32_t xid, size_t replica,
+                                      Status status,
+                                      std::vector<uint8_t> reply) {
+  auto it = calls_.find(xid);
+  if (it == calls_.end() || it->second.replica != replica) {
+    return;  // completion from a binding this call has already left
+  }
+  if (status.ok()) {
+    Finish(xid, std::move(status), std::move(reply));
+    return;
+  }
+  // The transport gave up (attempts exhausted or deadline). The per-RTO
+  // evidence already drove the health machine; here the only question is
+  // whether the *call* still has budget to try another replica. Note the
+  // re-issue re-arms the attempt budget and deadline on the new replica —
+  // reissue_budget is what bounds the total.
+  BoundCall& call = it->second;
+  if (call.reissues < policy_.reissue_budget) {
+    size_t target = PickReplica();
+    if (target != replica || !trackers_[replica].healthy()) {
+      ++call.reissues;
+      ++stats_.reissues;
+      TraceAdd(TraceCounter::kRpcBinderReissues);
+      uint64_t now = Now();
+      RecorderReplicaScope scope(ReplicaGroup::Tag(target));
+      RecordEvent(RecEvent::kRebind, RecEndpoint::kClient, xid, now,
+                  /*a=*/ReplicaGroup::Tag(target),
+                  /*b=*/ReplicaGroup::Tag(replica));
+      SubmitToReplica(xid, target);
+      return;
+    }
+  }
+  Finish(xid, std::move(status), std::move(reply));
+}
+
+void BinderTransport::Finish(uint32_t xid, Status status,
+                             std::vector<uint8_t> reply) {
+  auto it = calls_.find(xid);
+  Completion done = std::move(it->second.done);
+  calls_.erase(it);
+  if (!status.ok()) {
+    ++stats_.failures;
+  } else if (stats_.last_suspect_nanos != 0 &&
+             stats_.first_recovery_nanos == 0) {
+    stats_.first_recovery_nanos = Now();
+  }
+  done(std::move(status), std::move(reply));
+}
+
+void BinderTransport::OnReplicaFailure(size_t replica) {
+  uint64_t now = Now();
+  if (!trackers_[replica].OnFailure(now)) {
+    return;
+  }
+  // Healthy -> suspect: out of the rotation, probes scheduled, and any
+  // calls bound here need rescue. The evidence arrived from inside the
+  // transport's own OnRto, so the rebind is deferred to a same-instant
+  // event (FIFO tie-break keeps this deterministic).
+  ++stats_.suspects;
+  TraceAdd(TraceCounter::kRpcFailoverSuspects);
+  stats_.last_suspect_nanos = now;
+  {
+    RecorderReplicaScope scope(ReplicaGroup::Tag(replica));
+    RecordEvent(RecEvent::kFailover, RecEndpoint::kClient, /*xid=*/0, now,
+                /*a=*/ReplicaGroup::Tag(replica), /*b=*/1);
+  }
+  ScheduleProbe(replica);
+  bool has_bound_calls = false;
+  for (const auto& [xid, call] : calls_) {
+    if (call.replica == replica) {
+      has_bound_calls = true;
+      break;
+    }
+  }
+  if (has_bound_calls) {
+    RequestCutover();
+  }
+}
+
+void BinderTransport::OnReplicaSuccess(size_t replica) {
+  if (!trackers_[replica].OnSuccess()) {
+    return;
+  }
+  ++stats_.reinstates;
+  TraceAdd(TraceCounter::kRpcFailoverReinstates);
+  RecorderReplicaScope scope(ReplicaGroup::Tag(replica));
+  RecordEvent(RecEvent::kFailover, RecEndpoint::kClient, /*xid=*/0, Now(),
+              /*a=*/ReplicaGroup::Tag(replica), /*b=*/3);
+  // No automatic fail-back: the reinstated replica rejoins the rotation
+  // (and becomes eligible as a cutover target) but live traffic stays
+  // where it is.
+}
+
+void BinderTransport::RequestCutover() {
+  if (cutover_pending_) {
+    return;
+  }
+  cutover_pending_ = true;
+  events_->ScheduleAt(Now(), [this]() { Cutover(); });
+}
+
+void BinderTransport::Cutover() {
+  cutover_pending_ = false;
+  size_t n = group_->size();
+  size_t new_primary = primary_;
+  for (size_t i = 0; i < n; ++i) {
+    if (trackers_[i].healthy()) {
+      new_primary = i;
+      break;
+    }
+  }
+  // Every xid bound to an unhealthy replica migrates. std::map order
+  // makes the re-issue sequence a function of the xids alone.
+  std::vector<uint32_t> doomed;
+  for (const auto& [xid, call] : calls_) {
+    if (!trackers_[call.replica].healthy()) {
+      doomed.push_back(xid);
+    }
+  }
+  if (new_primary == primary_ && doomed.empty()) {
+    return;  // evidence arrived but nothing is left to move
+  }
+  uint64_t now = Now();
+  ++stats_.cutovers;
+  TraceAdd(TraceCounter::kRpcBinderCutovers);
+  stats_.last_cutover_nanos = now;
+  primary_ = new_primary;
+  {
+    RecorderReplicaScope scope(ReplicaGroup::Tag(new_primary));
+    RecordEvent(RecEvent::kFailover, RecEndpoint::kClient, /*xid=*/0, now,
+                /*a=*/ReplicaGroup::Tag(new_primary), /*b=*/4);
+  }
+  for (uint32_t xid : doomed) {
+    BoundCall& call = calls_.at(xid);
+    size_t old_replica = call.replica;
+    group_->transport(old_replica)->Cancel(xid);
+    size_t target = PickReplica();
+    ++call.reissues;
+    ++stats_.reissues;
+    TraceAdd(TraceCounter::kRpcBinderReissues);
+    {
+      RecorderReplicaScope scope(ReplicaGroup::Tag(target));
+      RecordEvent(RecEvent::kRebind, RecEndpoint::kClient, xid, now,
+                  /*a=*/ReplicaGroup::Tag(target),
+                  /*b=*/ReplicaGroup::Tag(old_replica));
+    }
+    SubmitToReplica(xid, target);
+  }
+}
+
+void BinderTransport::ScheduleProbe(size_t replica) {
+  if (!policy_.make_probe || trackers_[replica].healthy() ||
+      probe_outstanding_[replica]) {
+    return;
+  }
+  uint64_t due = std::max(trackers_[replica].next_probe_nanos(), Now());
+  if (probe_event_[replica] != EventQueue::kInvalidEvent) {
+    events_->Cancel(probe_event_[replica]);
+  }
+  probe_event_[replica] =
+      events_->ScheduleAt(due, [this, replica]() { ProbeTick(replica); });
+}
+
+void BinderTransport::ProbeTick(size_t replica) {
+  probe_event_[replica] = EventQueue::kInvalidEvent;
+  FailoverTracker& tracker = trackers_[replica];
+  uint64_t now = Now();
+  if (tracker.healthy() || probe_outstanding_[replica] ||
+      !tracker.ProbeDue(now)) {
+    return;
+  }
+  uint32_t probe_xid = next_probe_xid_++;
+  std::vector<uint8_t> request = policy_.make_probe(probe_xid);
+  tracker.OnProbeSent(now);
+  probe_outstanding_[replica] = true;
+  ++stats_.probes_sent;
+  TraceAdd(TraceCounter::kRpcBinderProbes);
+  {
+    RecorderReplicaScope scope(ReplicaGroup::Tag(replica));
+    RecordEvent(RecEvent::kFailover, RecEndpoint::kClient, probe_xid, now,
+                /*a=*/ReplicaGroup::Tag(replica), /*b=*/2);
+  }
+  group_->transport(replica)->Submit(
+      probe_xid, ByteSpan(request.data(), request.size()),
+      [this, replica, probe_xid](Status status, std::vector<uint8_t>) {
+        OnProbeResult(replica, probe_xid, status.ok());
+      });
+}
+
+void BinderTransport::OnProbeResult(size_t replica, uint32_t /*probe_xid*/,
+                                    bool ok) {
+  probe_outstanding_[replica] = false;
+  // A successful probe already reinstated the replica through the
+  // OnReplyMatched evidence path; a failed one already fed its RTO fires
+  // in. All that is left is to keep the probe clock ticking.
+  if (!ok && !trackers_[replica].healthy()) {
+    ScheduleProbe(replica);
+  }
+}
+
+Status BinderTransport::Drive() {
+  while (!calls_.empty()) {
+    if (!events_->RunNext()) {
+      return InternalError(StrFormat(
+          "binder stalled: %zu calls outstanding, no events pending",
+          calls_.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BinderTransport::Call(uint32_t xid, ByteSpan request,
+                             std::vector<uint8_t>* reply) {
+  Status result = Status::Ok();
+  Submit(xid, request,
+         [&result, reply](Status status, std::vector<uint8_t> r) {
+           result = std::move(status);
+           if (result.ok() && reply != nullptr) {
+             *reply = std::move(r);
+           }
+         });
+  Status driven = Drive();
+  if (!driven.ok()) {
+    return driven;
+  }
+  return result;
+}
+
+}  // namespace flexrpc

@@ -32,6 +32,10 @@ PipelinedTransport::PipelinedTransport(DatagramChannel* channel,
 EventQueue::EventId PipelinedTransport::Schedule(uint64_t at_nanos,
                                                  std::function<void()> fn) {
   return events_->ScheduleAt(at_nanos, [this, fn = std::move(fn)]() {
+    // Everything this transport does downstream of an event — channel
+    // sends, server executions, reply matching — records under its
+    // replica identity (0 = unreplicated, scope is a no-op tag).
+    RecorderReplicaScope replica_scope(replica_tag_);
     ++stats_.events;
     TraceAdd(TraceCounter::kRpcPipelineEvents);
     fn();
@@ -40,6 +44,7 @@ EventQueue::EventId PipelinedTransport::Schedule(uint64_t at_nanos,
 
 void PipelinedTransport::Submit(uint32_t xid, ByteSpan request,
                                 Completion done) {
+  RecorderReplicaScope replica_scope(replica_tag_);
   ++stats_.calls;
   TraceAdd(TraceCounter::kRpcPipelineCalls);
   RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, xid,
@@ -113,6 +118,9 @@ void PipelinedTransport::OnRto(uint32_t xid) {
   uint64_t now = events_->clock()->now_nanos();
   RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, xid, now,
               /*a=*/f.call.attempts);
+  if (observer_ != nullptr) {
+    observer_->OnRtoFired(xid, f.call.attempts);
+  }
   if (policy_.retry.adaptive.enabled && !f.call.DeadlinePassed(now)) {
     // A genuine timeout (not a timer clipped to the deadline): Karn-backoff
     // the RTO until the next clean sample, and signal AIMD loss. OnLoss
@@ -227,9 +235,23 @@ void PipelinedTransport::DrainReplies() {
     if (!datagram.ok()) {
       // A corrupt reply has no attributable xid; treat it as a drop and
       // let that call's RTO fire (retry_on_corrupt=false is ignored on
-      // the pipelined path — see the header).
+      // the pipelined path — see the header). A drop is a loss signal:
+      // feed AIMD the same way OnRto does so the window reacts to mangled
+      // frames, not just vanished ones. The RTT estimator is left alone —
+      // the frame did arrive, so the path's timing is not in question.
       ++stats_.corrupt_replies;
       TraceAdd(TraceCounter::kRpcCorruptReplies);
+      if (policy_.retry.adaptive.enabled) {
+        uint64_t now = events_->clock()->now_nanos();
+        if (cwnd_.OnLoss(now, rtt_.rto_nanos())) {
+          ++stats_.cwnd_decreases;
+          RecordEvent(RecEvent::kCwndChange, RecEndpoint::kClient,
+                      /*xid=*/0, now, /*a=*/cwnd_.window(), /*b=*/1);
+        }
+      }
+      if (observer_ != nullptr) {
+        observer_->OnCorruptReply();
+      }
       continue;
     }
     auto xid = PeekXid(ByteSpan(datagram->data(), datagram->size()));
@@ -278,6 +300,9 @@ void PipelinedTransport::DrainReplies() {
     }
     RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid, now,
                 /*a=*/datagram->size());
+    if (observer_ != nullptr) {
+      observer_->OnReplyMatched(*xid);
+    }
     Complete(*xid, Status::Ok(), std::move(*datagram));
   }
   ArmClientPoll();  // more replies may still be in flight
@@ -314,6 +339,30 @@ void PipelinedTransport::Complete(uint32_t xid, Status status,
   in_flight_.erase(it);
   StartNext();  // the freed slot admits the next queued call
   done(std::move(status), std::move(reply));
+}
+
+bool PipelinedTransport::Cancel(uint32_t xid) {
+  RecorderReplicaScope replica_scope(replica_tag_);
+  auto it = in_flight_.find(xid);
+  if (it != in_flight_.end()) {
+    if (it->second.rto_event != EventQueue::kInvalidEvent) {
+      events_->Cancel(it->second.rto_event);
+    }
+    auto pos = std::find(start_order_.begin(), start_order_.end(), xid);
+    if (pos != start_order_.end()) {
+      start_order_.erase(pos);
+    }
+    in_flight_.erase(it);
+    StartNext();  // the freed slot admits the next queued call
+    return true;
+  }
+  for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+    if (p->call.xid == xid) {
+      pending_.erase(p);
+      return true;
+    }
+  }
+  return false;
 }
 
 Status PipelinedTransport::Drive() {

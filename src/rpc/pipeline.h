@@ -27,7 +27,12 @@
 // One deliberate divergence from the serial path: a corrupt reply cannot
 // be attributed to an xid (the checksum rejects the whole frame), so the
 // pipelined path always treats it as a drop and lets the RTO cover it —
-// RetryPolicy::retry_on_corrupt=false is ignored here.
+// RetryPolicy::retry_on_corrupt=false is ignored here. Treating it as a
+// drop includes the loss signal: in adaptive mode a checksum failure
+// feeds the same AIMD OnLoss path an RTO fire does (DESIGN.md §11), so
+// congestion control and failover health see consistent evidence whether
+// a frame vanished or arrived mangled. (The RTT estimator is NOT backed
+// off — corruption implicates the frame, not the round-trip time.)
 
 #ifndef FLEXRPC_SRC_RPC_PIPELINE_H_
 #define FLEXRPC_SRC_RPC_PIPELINE_H_
@@ -47,6 +52,21 @@
 #include "src/support/status.h"
 
 namespace flexrpc {
+
+// Health-evidence taps for a control plane above the transport. The
+// binder (src/rpc/binder.h) listens to per-replica transports through
+// this interface: RTO fires and corrupt replies are failure evidence,
+// matched replies are success evidence. Callbacks run synchronously
+// inside the transport's event handling — implementations must not call
+// back into the transport from them (defer via the shared EventQueue;
+// Submit/Cancel from a *different* transport is fine).
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  virtual void OnRtoFired(uint32_t xid, uint32_t attempts) = 0;
+  virtual void OnReplyMatched(uint32_t xid) = 0;
+  virtual void OnCorruptReply() = 0;
+};
 
 struct PipelinePolicy {
   RetryPolicy retry;   // per-call budget, RTO, deadline, jitter — and the
@@ -106,6 +126,24 @@ class PipelinedTransport {
   // other outstanding calls). Returns that call's status.
   Status Call(uint32_t xid, ByteSpan request, std::vector<uint8_t>* reply);
 
+  // Withdraws a submitted call without completing it: the RTO timer is
+  // cancelled, the window slot freed, and the completion never invoked.
+  // A reply already in flight for the xid arrives as a stale reply. Used
+  // by the binder's live cutover to re-issue an in-flight xid on another
+  // replica. Returns false when the xid is not pending or in flight.
+  bool Cancel(uint32_t xid);
+
+  // Health-evidence tap (see PipelineObserver). Null disables the tap.
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
+  // Replica identity for flight-recorder attribution: every event this
+  // transport (and the channel/server work it drives) records carries the
+  // tag, giving each replica its own tracks in the Chrome export. 0 (the
+  // default) means unreplicated. Tags are 1-based (ReplicaGroup assigns
+  // index + 1).
+  void set_replica_tag(uint32_t tag) { replica_tag_ = tag; }
+  uint32_t replica_tag() const { return replica_tag_; }
+
   const Stats& stats() const { return stats_; }
   const PipelinePolicy& policy() const { return policy_; }
   VirtualClock* clock() { return channel_->clock(); }
@@ -152,6 +190,8 @@ class PipelinedTransport {
   RttEstimator rtt_;
   AimdController cwnd_;
   EventQueue* events_;
+  PipelineObserver* observer_ = nullptr;
+  uint32_t replica_tag_ = 0;
 
   std::deque<PendingCall> pending_;              // waiting for a slot
   std::unordered_map<uint32_t, InFlight> in_flight_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "src/support/json.h"
 #include "src/support/strings.h"
@@ -20,6 +21,8 @@ namespace {
 // never contend on anything but the index counter.
 std::vector<RecordedEvent> g_slots;
 std::atomic<uint64_t> g_next{0};
+
+thread_local uint32_t tls_replica_tag = 0;
 
 uint64_t WallNanos() {
   return static_cast<uint64_t>(
@@ -39,6 +42,7 @@ void RecordSlow(RecEvent type, RecEndpoint endpoint, uint32_t xid,
   slot.a = a;
   slot.b = b;
   slot.xid = xid;
+  slot.replica = tls_replica_tag;
   slot.type = type;
   slot.endpoint = endpoint;
 }
@@ -68,6 +72,8 @@ constexpr std::string_view kRecEventNames[kRecEventCount] = {
     "call_complete",
     "rtt_sample",
     "cwnd_change",
+    "failover",
+    "rebind",
 };
 
 constexpr std::string_view kRecEndpointNames[kRecEndpointCount] = {
@@ -124,6 +130,19 @@ RecorderCallScope::~RecorderCallScope() {
   tls_scope_xid = prev_xid_;
   tls_scope_clock = prev_clock_;
   tls_scope_active = prev_active_;
+}
+
+RecorderReplicaScope::RecorderReplicaScope(uint32_t replica_tag)
+    : prev_tag_(rec_internal::tls_replica_tag) {
+  rec_internal::tls_replica_tag = replica_tag;
+}
+
+RecorderReplicaScope::~RecorderReplicaScope() {
+  rec_internal::tls_replica_tag = prev_tag_;
+}
+
+uint32_t RecorderReplicaScope::Current() {
+  return rec_internal::tls_replica_tag;
 }
 
 bool RecorderCallScope::Active() { return tls_scope_active; }
@@ -197,6 +216,12 @@ std::string RecordingToJson(const Recording& recording,
     w.Key("type").String(RecEventName(e.type));
     w.Key("ep").String(RecEndpointName(e.endpoint));
     w.Key("xid").UInt(e.xid);
+    if (e.replica != 0) {
+      // Only replicated runs carry the key, so recordings made before the
+      // replica field existed — and all single-transport recordings —
+      // serialize byte-identically.
+      w.Key("r").UInt(e.replica);
+    }
     w.Key("vt").UInt(e.virtual_nanos);
     w.Key("a").UInt(e.a);
     w.Key("b").UInt(e.b);
@@ -274,6 +299,9 @@ Result<Recording> ParseRecording(std::string_view json) {
     }
     FLEXRPC_ASSIGN_OR_RETURN(uint64_t xid, RequireUInt(entry, "xid"));
     e.xid = static_cast<uint32_t>(xid);
+    if (const JsonValue* r = entry.Find("r"); r != nullptr && r->IsNumber()) {
+      e.replica = static_cast<uint32_t>(r->number);
+    }
     FLEXRPC_ASSIGN_OR_RETURN(e.virtual_nanos, RequireUInt(entry, "vt"));
     FLEXRPC_ASSIGN_OR_RETURN(e.a, RequireUInt(entry, "a"));
     FLEXRPC_ASSIGN_OR_RETURN(e.b, RequireUInt(entry, "b"));
@@ -299,16 +327,24 @@ std::string ChromeTs(uint64_t virtual_nanos) {
                    static_cast<unsigned long long>(virtual_nanos % 1000));
 }
 
-// One trace event's fixed fields. tid is the endpoint track.
+// One (replica, endpoint) pair maps to one thread track. Replica 0 keeps
+// the original tids 1..4, so unreplicated traces are unchanged; each
+// replica tag shifts its four endpoint tracks up as a block.
+uint64_t ChromeTid(uint32_t replica, RecEndpoint endpoint) {
+  return static_cast<uint64_t>(replica) * kRecEndpointCount +
+         static_cast<uint64_t>(endpoint) + 1;
+}
+
+// One trace event's fixed fields. tid is the (replica, endpoint) track.
 void ChromeEventHead(JsonWriter& w, std::string_view name,
                      std::string_view ph, uint64_t virtual_nanos,
-                     RecEndpoint endpoint) {
+                     RecEndpoint endpoint, uint32_t replica = 0) {
   w.BeginObject();
   w.Key("name").String(name);
   w.Key("ph").String(ph);
   w.Key("ts").RawNumber(ChromeTs(virtual_nanos));
   w.Key("pid").UInt(0);
-  w.Key("tid").UInt(static_cast<uint64_t>(endpoint) + 1);
+  w.Key("tid").UInt(ChromeTid(replica, endpoint));
 }
 
 void ChromeArgsXid(JsonWriter& w, const RecordedEvent& e) {
@@ -362,18 +398,32 @@ std::string ExportChromeTrace(const Recording& recording) {
   w.Key("tid").UInt(0);
   w.Key("args").BeginObject().Key("name").String("flexrpc").EndObject();
   w.EndObject();
-  for (size_t i = 0; i < kRecEndpointCount; ++i) {
-    w.BeginObject();
-    w.Key("name").String("thread_name");
-    w.Key("ph").String("M");
-    w.Key("pid").UInt(0);
-    w.Key("tid").UInt(i + 1);
-    w.Key("args")
-        .BeginObject()
-        .Key("name")
-        .String(kRecEndpointNames[i])
-        .EndObject();
-    w.EndObject();
+  // Replica tags present in the recording: 0 (the unreplicated tracks)
+  // plus every tag a RecorderReplicaScope stamped. Each gets its own block
+  // of endpoint tracks, named "server[r2]" style for replicas.
+  std::vector<uint32_t> replicas{0};
+  for (const RecordedEvent* ep : ordered) {
+    if (ep->replica != 0 &&
+        std::find(replicas.begin(), replicas.end(), ep->replica) ==
+            replicas.end()) {
+      replicas.push_back(ep->replica);
+    }
+  }
+  std::sort(replicas.begin(), replicas.end());
+  for (uint32_t replica : replicas) {
+    for (size_t i = 0; i < kRecEndpointCount; ++i) {
+      w.BeginObject();
+      w.Key("name").String("thread_name");
+      w.Key("ph").String("M");
+      w.Key("pid").UInt(0);
+      w.Key("tid").UInt(ChromeTid(replica, static_cast<RecEndpoint>(i)));
+      std::string track(kRecEndpointNames[i]);
+      if (replica != 0) {
+        track += StrFormat("[r%u]", replica);
+      }
+      w.Key("args").BeginObject().Key("name").String(track).EndObject();
+      w.EndObject();
+    }
   }
 
   if (recording.dropped_events > 0) {
@@ -393,20 +443,27 @@ std::string ExportChromeTrace(const Recording& recording) {
     w.EndObject();
   }
 
-  // B/E pairing state per endpoint track: a truncated recording can hold
-  // an End whose Begin was overwritten (suppress it) or a Begin whose End
-  // never landed (close it at the final timestamp). Marshal and server
-  // spans never nest within a track, so open-span bookkeeping is a stack
-  // of labels.
-  std::vector<std::string_view> open_spans[kRecEndpointCount];
-  // Async call spans keyed by xid, same repair rules.
+  // B/E pairing state per (replica, endpoint) track: a truncated
+  // recording can hold an End whose Begin was overwritten (suppress it)
+  // or a Begin whose End never landed (close it at the final timestamp).
+  // Marshal and server spans never nest within a track, so open-span
+  // bookkeeping is a stack of labels.
+  std::map<uint64_t, std::vector<std::string_view>> open_spans;  // by tid
+  // Async call spans keyed by xid, same repair rules. A rebound call is
+  // resubmitted under the same xid on another replica; its async span
+  // stays open from the first submission until the one completion.
   std::vector<uint32_t> open_calls;
 
   for (const RecordedEvent* ep : ordered) {
     const RecordedEvent& e = *ep;
     switch (e.type) {
       case RecEvent::kCallSubmit: {
-        ChromeEventHead(w, "call", "b", e.virtual_nanos, e.endpoint);
+        if (std::find(open_calls.begin(), open_calls.end(), e.xid) !=
+            open_calls.end()) {
+          break;  // re-issue on another replica; span already open
+        }
+        ChromeEventHead(w, "call", "b", e.virtual_nanos, e.endpoint,
+                        e.replica);
         w.Key("cat").String("rpc");
         w.Key("id").UInt(e.xid);
         ChromeArgsXid(w, e);
@@ -420,7 +477,8 @@ std::string ExportChromeTrace(const Recording& recording) {
           break;  // begin lost to truncation
         }
         open_calls.erase(it);
-        ChromeEventHead(w, "call", "e", e.virtual_nanos, e.endpoint);
+        ChromeEventHead(w, "call", "e", e.virtual_nanos, e.endpoint,
+                        e.replica);
         w.Key("cat").String("rpc");
         w.Key("id").UInt(e.xid);
         ChromeArgsXid(w, e);
@@ -433,28 +491,30 @@ std::string ExportChromeTrace(const Recording& recording) {
                                     ? "server_exec"
                                 : e.a != 0 ? "unmarshal"
                                            : "marshal";
-        ChromeEventHead(w, name, "B", e.virtual_nanos, e.endpoint);
+        ChromeEventHead(w, name, "B", e.virtual_nanos, e.endpoint,
+                        e.replica);
         ChromeArgsXid(w, e);
         w.EndObject();
-        open_spans[static_cast<size_t>(e.endpoint)].push_back(name);
+        open_spans[ChromeTid(e.replica, e.endpoint)].push_back(name);
         break;
       }
       case RecEvent::kMarshalEnd:
       case RecEvent::kServerExecEnd: {
-        auto& stack = open_spans[static_cast<size_t>(e.endpoint)];
+        auto& stack = open_spans[ChromeTid(e.replica, e.endpoint)];
         if (stack.empty()) {
           break;  // begin lost to truncation
         }
         std::string_view name = stack.back();
         stack.pop_back();
-        ChromeEventHead(w, name, "E", e.virtual_nanos, e.endpoint);
+        ChromeEventHead(w, name, "E", e.virtual_nanos, e.endpoint,
+                        e.replica);
         w.EndObject();
         break;
       }
       default: {
-        // Everything else is an instant on its endpoint's track.
+        // Everything else is an instant on its (replica, endpoint) track.
         ChromeEventHead(w, RecEventName(e.type), "i", e.virtual_nanos,
-                        e.endpoint);
+                        e.endpoint, e.replica);
         w.Key("s").String("t");
         ChromeArgsXid(w, e);
         w.EndObject();
@@ -463,13 +523,18 @@ std::string ExportChromeTrace(const Recording& recording) {
     }
   }
 
-  // Repair unmatched begins so the trace stays structurally valid.
-  for (size_t track = 0; track < kRecEndpointCount; ++track) {
-    while (!open_spans[track].empty()) {
-      std::string_view name = open_spans[track].back();
-      open_spans[track].pop_back();
-      ChromeEventHead(w, name, "E", last_nanos,
-                      static_cast<RecEndpoint>(track));
+  // Repair unmatched begins so the trace stays structurally valid. The
+  // tid already encodes (replica, endpoint); emit the close directly.
+  for (auto& [tid, stack] : open_spans) {
+    while (!stack.empty()) {
+      std::string_view name = stack.back();
+      stack.pop_back();
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("ph").String("E");
+      w.Key("ts").RawNumber(ChromeTs(last_nanos));
+      w.Key("pid").UInt(0);
+      w.Key("tid").UInt(tid);
       w.EndObject();
     }
   }

@@ -75,6 +75,13 @@ enum class RecEvent : uint8_t {
                      //                                  b=RTO after update
   kCwndChange,       // AIMD window moved                a=new window,
                      //                                  b=1 on decrease
+  kFailover,         // replica health transition        a=replica tag,
+                     //                                  b=1 suspect,
+                     //                                  2 probe sent,
+                     //                                  3 reinstated,
+                     //                                  4 new primary
+  kRebind,           // in-flight xid re-issued          a=new replica tag,
+                     //                                  b=old replica tag
   kCount,
 };
 
@@ -105,7 +112,10 @@ struct RecordedEvent {
                                // default — host-dependent)
   uint64_t a = 0;
   uint64_t b = 0;
-  uint32_t xid = 0;  // 0 when the event is not attributable to a call
+  uint32_t xid = 0;      // 0 when the event is not attributable to a call
+  uint32_t replica = 0;  // replica tag from the enclosing
+                         // RecorderReplicaScope; 0 = unreplicated (the
+                         // single-transport paths never set one)
   RecEvent type = RecEvent::kCallSubmit;
   RecEndpoint endpoint = RecEndpoint::kClient;
 };
@@ -160,6 +170,29 @@ class RecorderCallScope {
   uint32_t prev_xid_;
   const VirtualClock* prev_clock_;
   bool prev_active_;
+};
+
+// Thread-local replica context. A replicated binding runs one transport
+// per replica over the same record points; each transport opens this scope
+// around its entry points (Submit, Cancel, every scheduled event), so
+// channel- and server-side events inherit the replica identity without any
+// record-point signature change. Events recorded outside any scope carry
+// replica 0, which serializes and exports exactly as before — single-
+// transport recordings are byte-identical to pre-replica ones. Scopes
+// nest; tags are 1-based (ReplicaGroup assigns index + 1).
+class RecorderReplicaScope {
+ public:
+  explicit RecorderReplicaScope(uint32_t replica_tag);
+  ~RecorderReplicaScope();
+
+  RecorderReplicaScope(const RecorderReplicaScope&) = delete;
+  RecorderReplicaScope& operator=(const RecorderReplicaScope&) = delete;
+
+  // Current thread's replica tag (0 when no scope is open).
+  static uint32_t Current();
+
+ private:
+  uint32_t prev_tag_;
 };
 
 // A drained ring: events oldest-first, plus how many were overwritten.

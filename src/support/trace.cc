@@ -82,6 +82,12 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "rpc.rtt.clamps",
     "rpc.cwnd.increases",
     "rpc.cwnd.decreases",
+    "rpc.binder.calls",
+    "rpc.binder.reissues",
+    "rpc.binder.probes",
+    "rpc.binder.cutovers",
+    "rpc.failover.suspects",
+    "rpc.failover.reinstates",
     "marshal.ops.scalar",
     "marshal.ops.bytes",
     "marshal.ops.string",

@@ -108,6 +108,13 @@ enum class TraceCounter : uint16_t {
   kRpcRttClamps,             // rpc.rtt.clamps (RTO hit a min/max bound)
   kRpcCwndIncreases,         // rpc.cwnd.increases (additive window growth)
   kRpcCwndDecreases,         // rpc.cwnd.decreases (multiplicative halvings)
+  kRpcBinderCalls,           // rpc.binder.calls (calls routed by a binding)
+  kRpcBinderReissues,        // rpc.binder.reissues (in-flight xids moved to
+                             //   another replica)
+  kRpcBinderProbes,          // rpc.binder.probes (health probes sent)
+  kRpcBinderCutovers,        // rpc.binder.cutovers (primary changed)
+  kRpcFailoverSuspects,      // rpc.failover.suspects (healthy -> suspect)
+  kRpcFailoverReinstates,    // rpc.failover.reinstates (probe succeeded)
 
   // marshal: interpreter opcode mix.
   kMarshalOpScalar,          // marshal.ops.scalar

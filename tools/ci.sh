@@ -25,11 +25,13 @@ run_suite() {
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$JOBS"
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
-  # The full run above includes the fault-injection soak (label: fault);
-  # repeat it as its own step so lossy-wire regressions surface with a
+  # The full run above includes the fault-injection soak (label: fault)
+  # and the replica-death failover sweep (label: failover); repeat them as
+  # their own step so lossy-wire and failover regressions surface with a
   # dedicated line in every configuration, sanitizers included.
-  echo "== fault-injection soak ($build_dir) =="
-  ctest --test-dir "$build_dir" -L fault --output-on-failure -j "$JOBS"
+  echo "== fault-injection + failover soak ($build_dir) =="
+  ctest --test-dir "$build_dir" -L "fault|failover" \
+    --output-on-failure -j "$JOBS"
 }
 
 echo "== plain build + tests =="

@@ -83,6 +83,15 @@ constexpr const char* kGatedCounters[] = {
     "rpc.rtt.clamps",
     "rpc.cwnd.increases",
     "rpc.cwnd.decreases",
+    // Managed-binding control plane: calls routed, live rebinds, probes,
+    // and health transitions are exact for the scripted kill schedules —
+    // a drift means the failover trajectory changed.
+    "rpc.binder.calls",
+    "rpc.binder.reissues",
+    "rpc.binder.probes",
+    "rpc.binder.cutovers",
+    "rpc.failover.suspects",
+    "rpc.failover.reinstates",
 };
 
 // Histogram *counts* are gated too: the number of observations (marshals,
