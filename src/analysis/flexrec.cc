@@ -74,8 +74,17 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
         ordered.back()->virtual_nanos - ordered.front()->virtual_nanos;
   }
 
-  std::map<uint32_t, CallEvents> calls;  // keyed by xid
-  std::vector<uint32_t> submit_order;
+  // Call identity is the (conn, xid) pair: under the mux, xids are only
+  // unique per connection, and merging two connections' same-xid calls
+  // would cross-pair a submit with the other call's completion (the
+  // total would underflow and the phase-sum invariant would break).
+  // Unmultiplexed recordings carry conn 0 everywhere, so the key
+  // degenerates to the xid and nothing changes.
+  auto call_key = [](const RecordedEvent& e) {
+    return (static_cast<uint64_t>(e.conn) << 32) | e.xid;
+  };
+  std::map<uint64_t, CallEvents> calls;  // keyed by (conn << 32) | xid
+  std::vector<uint64_t> submit_order;
   uint64_t first_cutover_nanos = 0;
   bool saw_cutover = false;
   bool recovery_measured = false;
@@ -85,12 +94,12 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
     if (e.replica != 0) {
       analysis.failover.present = true;
     }
-    CallEvents& call = calls[e.xid];
+    CallEvents& call = calls[call_key(e)];
     switch (e.type) {
       case RecEvent::kCallSubmit:
         call.submit = e.virtual_nanos;
         call.has_submit = true;
-        submit_order.push_back(e.xid);
+        submit_order.push_back(call_key(e));
         if (e.replica != 0) {
           ++analysis.failover.per_replica_submits[e.replica];
         }
@@ -186,10 +195,11 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
     }
   }
 
-  for (uint32_t xid : submit_order) {
-    CallEvents& call = calls[xid];
+  for (uint64_t key : submit_order) {
+    CallEvents& call = calls[key];
     CallBreakdown out;
-    out.xid = xid;
+    out.xid = static_cast<uint32_t>(key);
+    out.conn = static_cast<uint32_t>(key >> 32);
     out.submit_nanos = call.submit;
     out.attempts = call.attempts;
     out.complete = call.has_complete;
@@ -214,6 +224,18 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
     analysis.spurious_retransmits += out.spurious_retransmits;
 
     if (call.has_complete) {
+      if (call.complete < call.submit) {
+        // An inconsistent pair — a truncated ring can drain a call's
+        // completion and then pair its key with a later submission (xid
+        // reuse across the wrap). Attribution has no anchor; marking the
+        // call beats letting complete - submit underflow.
+        out.truncated = true;
+        out.complete = false;
+        out.status_code = call.status_code;
+        ++analysis.truncated_calls;
+        analysis.calls.push_back(out);
+        continue;
+      }
       ++analysis.completed_calls;
       if (call.status_code != 0) {
         ++analysis.failed_calls;
@@ -269,6 +291,25 @@ RecordingAnalysis AnalyzeRecording(const Recording& recording) {
           phase_nanos[static_cast<size_t>(Phase::kReplyProp)];
       out.queued_nanos = phase_nanos[static_cast<size_t>(Phase::kQueued)];
     }
+    analysis.calls.push_back(out);
+  }
+
+  // Completions whose submit the ring overwrote used to be invisible (the
+  // breakdown loop walks submissions). They cannot be attributed — the
+  // span has no anchor — but a 10k-call fleet run truncates long before it
+  // finishes, and silently dropping the tail misreports the run. List
+  // them, explicitly marked.
+  for (auto& [key, call] : calls) {
+    if (call.has_submit || !call.has_complete) {
+      continue;
+    }
+    CallBreakdown out;
+    out.xid = static_cast<uint32_t>(key);
+    out.conn = static_cast<uint32_t>(key >> 32);
+    out.status_code = call.status_code;
+    out.attempts = call.attempts;
+    out.truncated = true;
+    ++analysis.truncated_calls;
     analysis.calls.push_back(out);
   }
 
@@ -365,6 +406,12 @@ std::string RenderReport(const RecordingAnalysis& analysis,
         "WARNING: recording truncated, %llu oldest events dropped\n",
         static_cast<unsigned long long>(analysis.dropped_events));
   }
+  if (analysis.truncated_calls > 0) {
+    out += StrFormat(
+        "WARNING: %llu calls lost their submit to truncation; listed "
+        "below, excluded from attribution\n",
+        static_cast<unsigned long long>(analysis.truncated_calls));
+  }
   out += StrFormat(
       "retransmits: %llu (drop-induced %llu, spurious RTO %llu)\n",
       static_cast<unsigned long long>(analysis.total_retransmits),
@@ -455,18 +502,27 @@ std::string RenderReport(const RecordingAnalysis& analysis,
       break;
     }
     ++rows;
+    // Multiplexed calls render as conn:xid; conn 0 keeps the bare xid so
+    // single-connection reports are unchanged.
+    std::string id = c.conn != 0 ? StrFormat("%u:%u", c.conn, c.xid)
+                                 : StrFormat("%u", c.xid);
+    if (c.truncated) {
+      out += StrFormat("  %8s %10s (truncated: submit lost)\n", id.c_str(),
+                       "-");
+      continue;
+    }
     if (!c.complete) {
-      out += StrFormat("  %8u %10s (never completed)\n", c.xid, "-");
+      out += StrFormat("  %8s %10s (never completed)\n", id.c_str(), "-");
       continue;
     }
     auto us = [](uint64_t nanos) {
       return static_cast<double>(nanos) * 1e-3;
     };
     out += StrFormat(
-        "  %8u %10.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %4u "
+        "  %8s %10.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %4u "
         "%6u %6u%s\n",
-        c.xid, us(c.total_nanos), us(c.queued_nanos), us(c.req_wire_nanos),
-        us(c.req_prop_nanos), us(c.server_exec_nanos),
+        id.c_str(), us(c.total_nanos), us(c.queued_nanos),
+        us(c.req_wire_nanos), us(c.req_prop_nanos), us(c.server_exec_nanos),
         us(c.reply_wire_nanos), us(c.reply_prop_nanos), us(c.wait_nanos),
         c.attempts, c.drop_induced_retransmits, c.spurious_retransmits,
         c.status_code != 0 ? "  FAILED" : "");

@@ -32,7 +32,14 @@ namespace flexrpc {
 // to total_nanos for every call with a matched submit/complete pair.
 struct CallBreakdown {
   uint32_t xid = 0;
+  uint32_t conn = 0;           // connection tag; 0 = unmultiplexed. Calls
+                               // are keyed by (conn, xid) — under the mux
+                               // xids are only unique per connection.
   bool complete = false;       // saw both kCallSubmit and kCallComplete
+  bool truncated = false;      // the ring dropped this call's submit (or
+                               // the pair is inconsistent); the call is
+                               // listed but excluded from attribution and
+                               // aggregates — its span has no anchor
   uint64_t status_code = 0;    // StatusCode of the completion (0 = ok)
   uint64_t submit_nanos = 0;
   uint64_t total_nanos = 0;    // complete - submit
@@ -68,6 +75,8 @@ struct RecordingAnalysis {
   std::vector<WindowSample> cwnd;
 
   uint64_t dropped_events = 0;  // recording truncation carried through
+  uint64_t truncated_calls = 0;  // completions whose submit the ring
+                                 // dropped — marked, never attributed
   uint32_t max_in_flight = 0;
   uint64_t span_nanos = 0;  // last event time - first event time
 

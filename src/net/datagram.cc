@@ -25,6 +25,15 @@ uint32_t PeekPayloadXid(const uint8_t* payload, size_t size) {
          static_cast<uint32_t>(payload[3]);
 }
 
+// Under the mux wire format the payload's second word is the connection
+// id ([xid][conn][body]); 0 for frames too short to carry one.
+uint32_t PeekPayloadConn(const uint8_t* payload, size_t size) {
+  if (size < 8) {
+    return 0;
+  }
+  return PeekPayloadXid(payload + 4, size - 4);
+}
+
 uint32_t PeekFrameXid(const std::vector<uint8_t>& frame) {
   if (frame.size() < kHeaderSize) {
     return 0;
@@ -203,6 +212,13 @@ Result<std::vector<uint8_t>> DatagramChannel::Receive(Dir dir) {
   }
   ++stats_.delivered;
   TraceAdd(TraceCounter::kNetDatagramsDelivered);
+  // Receive runs before the caller has parsed the frame, so no
+  // RecorderConnScope encloses it; in conn-tagged mode the channel reads
+  // the connection id out of the payload itself.
+  std::optional<RecorderConnScope> conn_scope;
+  if (conn_tagging_ && RecorderEnabled()) {
+    conn_scope.emplace(PeekPayloadConn(payload.data(), *length));
+  }
   RecordEvent(RecEvent::kWireRx, WireEndpoint(dir),
               RecorderEnabled() ? PeekPayloadXid(payload.data(), *length) : 0,
               clock_->now_nanos(), /*a=*/*length);

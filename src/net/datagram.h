@@ -81,6 +81,14 @@ class DatagramChannel {
   void set_scheduled_delivery(bool on) { scheduled_ = on; }
   bool scheduled_delivery() const { return scheduled_; }
 
+  // Multiplexed framing: the payload's second big-endian word is the
+  // connection id ([xid][conn][body] — the mux wire format). When on,
+  // Receive tags its wire-delivery record events with that connection so
+  // flexrec can attribute them to the (conn, xid) call; send-side events
+  // inherit the caller's RecorderConnScope instead. Off by default — the
+  // single-connection transports put arbitrary body bytes there.
+  void set_conn_tagging(bool on) { conn_tagging_ = on; }
+
   // Delivery timestamp of the frame at the head of `dir`'s queue (which
   // may still be in flight); nullopt when the queue is empty. Only
   // meaningful in scheduled mode (lockstep frames carry timestamp 0).
@@ -106,6 +114,7 @@ class DatagramChannel {
   std::deque<Frame> queues_[2];
   uint32_t next_seq_[2] = {0, 0};
   bool scheduled_ = false;
+  bool conn_tagging_ = false;
   uint64_t wire_free_nanos_[2] = {0, 0};  // per-direction busy-until horizon
   Stats stats_;
 };

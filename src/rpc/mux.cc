@@ -1,0 +1,286 @@
+#include "src/rpc/mux.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/support/recorder.h"
+#include "src/support/strings.h"
+#include "src/support/trace.h"
+
+namespace flexrpc {
+
+namespace {
+constexpr auto kAtoB = DatagramChannel::Dir::kAtoB;
+constexpr auto kBtoA = DatagramChannel::Dir::kBtoA;
+}  // namespace
+
+Result<uint32_t> PeekMuxConn(ByteSpan datagram) {
+  if (datagram.size() < 8) {
+    return DataLossError("datagram too short to carry a connection id");
+  }
+  ByteReader r(ByteSpan(datagram.data() + 4, 4));
+  return r.ReadU32Be();
+}
+
+ConnectionMux::ConnectionMux(DatagramChannel* channel, MuxPolicy policy,
+                             EventQueue* events)
+    : channel_(channel), policy_(policy), events_(events),
+      jitter_(policy.retry.jitter_seed) {
+  if (policy_.per_conn_window == 0) {
+    policy_.per_conn_window = 1;
+  }
+  channel_->set_scheduled_delivery(true);
+  channel_->set_conn_tagging(true);
+}
+
+uint32_t ConnectionMux::OpenConnection() {
+  uint32_t conn = next_conn_++;
+  conns_.emplace(conn, Conn{});
+  ++stats_.conns_opened;
+  TraceAdd(TraceCounter::kRpcMuxConnsOpened);
+  return conn;
+}
+
+EventQueue::EventId ConnectionMux::Schedule(uint64_t at_nanos,
+                                            std::function<void()> fn) {
+  // Timer events fire with no ambient identity; capture the connection
+  // scope active at scheduling time and reopen it inside the event, so
+  // retransmits and reply sends downstream of timers record under the
+  // right connection.
+  uint32_t conn_tag = RecorderConnScope::Current();
+  return events_->ScheduleAt(at_nanos, [this, conn_tag,
+                                        fn = std::move(fn)]() {
+    RecorderConnScope conn_scope(conn_tag);
+    ++stats_.events;
+    fn();
+  });
+}
+
+void ConnectionMux::Submit(uint32_t conn_id, ByteSpan body, Completion done) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    done(InvalidArgumentError(
+             StrFormat("submit on unopened connection %u", conn_id)),
+         {});
+    return;
+  }
+  Conn& c = it->second;
+  RecorderConnScope conn_scope(conn_id);
+  ++stats_.calls;
+  TraceAdd(TraceCounter::kRpcMuxCalls);
+  uint32_t xid = c.next_xid++;
+  ByteWriter w;
+  w.WriteU32Be(xid);
+  w.WriteU32Be(conn_id);
+  w.WriteSpan(body);
+  PendingCall pending;
+  pending.call.xid = xid;
+  pending.call.request = w.TakeBuffer();
+  // The deadline starts at submission: time queued behind this
+  // connection's window counts against it, like a kernel send queue.
+  pending.call.Arm(policy_.retry, events_->clock()->now_nanos());
+  pending.done = std::move(done);
+  RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, xid,
+              events_->clock()->now_nanos(),
+              /*a=*/pending.call.request.size());
+  if (c.in_flight >= policy_.per_conn_window) {
+    ++stats_.flow_stalls;
+    TraceAdd(TraceCounter::kRpcMuxFlowStalls);
+  }
+  ++outstanding_;
+  c.pending.push_back(std::move(pending));
+  StartNext(conn_id);
+}
+
+void ConnectionMux::StartNext(uint32_t conn_id) {
+  auto conn_it = conns_.find(conn_id);
+  if (conn_it == conns_.end()) {
+    return;
+  }
+  Conn& c = conn_it->second;
+  while (c.in_flight < policy_.per_conn_window && !c.pending.empty()) {
+    PendingCall next = std::move(c.pending.front());
+    c.pending.pop_front();
+    uint64_t key = Key(conn_id, next.call.xid);
+    InFlight& f = in_flight_[key];
+    f.conn = conn_id;
+    f.call = std::move(next.call);
+    f.done = std::move(next.done);
+    ++c.in_flight;
+    stats_.max_in_flight =
+        std::max<uint64_t>(stats_.max_in_flight, in_flight_.size());
+    TransmitCall(f);
+  }
+}
+
+void ConnectionMux::TransmitCall(InFlight& f) {
+  RecorderConnScope conn_scope(f.conn);
+  ++f.call.attempts;
+  if (f.call.attempts > 1) {
+    ++stats_.retransmits;
+    TraceAdd(TraceCounter::kRpcMuxRetransmits);
+    RecordEvent(RecEvent::kRetransmit, RecEndpoint::kClient, f.call.xid,
+                events_->clock()->now_nanos(), /*a=*/f.call.attempts);
+  }
+  f.call.last_tx_nanos = events_->clock()->now_nanos();
+  channel_->Send(kAtoB,
+                 ByteSpan(f.call.request.data(), f.call.request.size()));
+  if (request_listener_) {
+    request_listener_();
+  }
+  uint64_t now = events_->clock()->now_nanos();
+  bool expires = false;
+  // Fixed RTO schedule only: a shared adaptive estimator would conflate N
+  // connections' samples, and per-connection estimators are the noted
+  // follow-on (ROADMAP item 2) — policy_.retry.adaptive is ignored here.
+  uint64_t wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now,
+                                         &expires);
+  // When the wait was clipped the timer fires at the deadline and OnRto
+  // fails the call; no special case needed here.
+  uint64_t key = Key(f.conn, f.call.xid);
+  f.rto_event = Schedule(now + wait, [this, key]() { OnRto(key); });
+}
+
+void ConnectionMux::OnRto(uint64_t key) {
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) {
+    return;  // completed after this timer was already popped
+  }
+  InFlight& f = it->second;
+  f.rto_event = EventQueue::kInvalidEvent;
+  uint64_t now = events_->clock()->now_nanos();
+  RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, f.call.xid, now,
+              /*a=*/f.call.attempts);
+  if (f.call.AttemptsExhausted(policy_.retry)) {
+    Complete(key, UnavailableError(StrFormat(
+                      "no reply for conn %u xid %u after %u attempts",
+                      f.conn, f.call.xid, f.call.attempts)),
+             {});
+    return;
+  }
+  if (f.call.DeadlinePassed(now)) {
+    Complete(key, DeadlineExceededError(StrFormat(
+                      "deadline passed after %u attempts for conn %u xid %u",
+                      f.call.attempts, f.conn, f.call.xid)),
+             {});
+    return;
+  }
+  TransmitCall(f);
+}
+
+void ConnectionMux::Poke() { ArmClientPoll(); }
+
+void ConnectionMux::ArmClientPoll() {
+  auto next = channel_->NextDeliveryNanos(kBtoA);
+  if (!next) {
+    return;
+  }
+  if (client_poll_armed_ && client_poll_at_ <= *next) {
+    return;  // an earlier (or equal) wakeup already covers this frame
+  }
+  if (client_poll_armed_) {
+    events_->Cancel(client_poll_event_);
+  }
+  client_poll_armed_ = true;
+  client_poll_at_ = *next;
+  client_poll_event_ = Schedule(*next, [this]() {
+    client_poll_armed_ = false;
+    DrainReplies();
+  });
+}
+
+void ConnectionMux::DrainReplies() {
+  while (channel_->HasPending(kBtoA)) {
+    auto datagram = channel_->Receive(kBtoA);
+    if (!datagram.ok()) {
+      // A corrupt reply has no attributable identity; treat it as a drop
+      // and let that call's RTO fire.
+      ++stats_.corrupt_replies;
+      TraceAdd(TraceCounter::kRpcCorruptReplies);
+      continue;
+    }
+    ByteSpan reply_span(datagram->data(), datagram->size());
+    auto xid = PeekXid(reply_span);
+    auto conn = PeekMuxConn(reply_span);
+    if (!xid.ok() || !conn.ok()) {
+      ++stats_.stale_replies;  // too short to carry (conn, xid)
+      TraceAdd(TraceCounter::kRpcMuxStaleReplies);
+      continue;
+    }
+    RecorderConnScope conn_scope(*conn);
+    uint64_t now = events_->clock()->now_nanos();
+    uint64_t key = Key(*conn, *xid);
+    auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) {
+      // A late duplicate of a call that already completed (or failed) on
+      // this connection — or a reply whose conn half does not match any
+      // open call, which the per-connection keying rejects here.
+      ++stats_.stale_replies;
+      TraceAdd(TraceCounter::kRpcMuxStaleReplies);
+      RecordEvent(RecEvent::kReplyStale, RecEndpoint::kClient, *xid, now);
+      continue;
+    }
+    if (it->second.call.DeadlinePassed(now)) {
+      RecordEvent(RecEvent::kReplyLate, RecEndpoint::kClient, *xid, now);
+      Complete(key, DeadlineExceededError(StrFormat(
+                        "reply for conn %u xid %u arrived after the "
+                        "deadline",
+                        *conn, *xid)),
+               {});
+      continue;
+    }
+    RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid, now,
+                /*a=*/datagram->size());
+    Complete(key, Status::Ok(), std::move(*datagram));
+  }
+  ArmClientPoll();  // more replies may still be in flight
+}
+
+void ConnectionMux::Complete(uint64_t key, Status status,
+                             std::vector<uint8_t> reply) {
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) {
+    return;
+  }
+  InFlight& f = it->second;
+  RecorderConnScope conn_scope(f.conn);
+  if (f.rto_event != EventQueue::kInvalidEvent) {
+    events_->Cancel(f.rto_event);
+  }
+  if (status.ok()) {
+    ++stats_.completed;
+  } else if (status.code() == StatusCode::kUnavailable) {
+    ++stats_.unavailable_failures;
+    TraceAdd(TraceCounter::kRpcUnavailableFailures);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.deadline_expiries;
+    TraceAdd(TraceCounter::kRpcDeadlineExpiries);
+  }
+  RecordEvent(RecEvent::kCallComplete, RecEndpoint::kClient, f.call.xid,
+              events_->clock()->now_nanos(),
+              /*a=*/static_cast<uint64_t>(status.code()));
+  uint32_t conn_id = f.conn;
+  Completion done = std::move(f.done);
+  in_flight_.erase(it);
+  auto conn_it = conns_.find(conn_id);
+  if (conn_it != conns_.end() && conn_it->second.in_flight > 0) {
+    --conn_it->second.in_flight;
+  }
+  --outstanding_;
+  StartNext(conn_id);  // the freed window slot admits the next queued call
+  done(std::move(status), std::move(reply));
+}
+
+Status ConnectionMux::Drive() {
+  while (outstanding_ > 0) {
+    if (!events_->RunNext()) {
+      return InternalError(StrFormat(
+          "connection mux stalled: %zu calls outstanding, no events "
+          "pending",
+          outstanding_));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace flexrpc

@@ -1,0 +1,165 @@
+// ConnectionMux — many client connections multiplexed over one channel.
+//
+// Every transport below this layer carries one client's calls. The fleet
+// simulation needs thousands: this mux runs N logical connections over a
+// single DatagramChannel (the server's NIC), giving each connection its
+// own xid namespace, its own flow-control window, and its own stream of
+// interleaved calls. The demux key — on the wire and in every table — is
+// the (connection-id, xid) pair; a bare xid means nothing fleet-wide.
+//
+// Wire format: the mux frames every datagram as
+//
+//   [xid u32 BE][conn u32 BE][body...]
+//
+// The xid stays the FIRST word — the SunRPC layout every layer below
+// assumes, and what lets DatagramChannel attribute wire events without
+// parsing — and the connection id rides in the second word. Replies come
+// back with the same two-word prefix; completions hand the caller the
+// full datagram (prefix included), like the other transports do.
+//
+// Client machinery is PipelinedTransport's, per connection: each call is
+// a ClientCallState with an attempt budget, a per-call RTO timer with
+// exponential backoff and deterministic jitter, and an absolute deadline;
+// replies are drained from coalesced poll events armed on the channel's
+// NextDeliveryNanos. Per-connection flow control mirrors the pipelined
+// window: at most per_conn_window calls of one connection are in flight,
+// the rest queue (counted as flow stalls, attributed as queued time).
+// The adaptive RTT/AIMD machinery is deliberately not wired up here —
+// per-connection estimators are the noted follow-on (ROADMAP item 2).
+//
+// The server side is ServerDispatch (src/rpc/dispatch.h); the two halves
+// share the channel and the EventQueue and wake each other through
+// listener hooks (request_listener -> dispatch.Poke, reply_listener ->
+// mux.Poke).
+
+#ifndef FLEXRPC_SRC_RPC_MUX_H_
+#define FLEXRPC_SRC_RPC_MUX_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/datagram.h"
+#include "src/rpc/retry.h"
+#include "src/support/event_queue.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+struct MuxPolicy {
+  RetryPolicy retry;
+  // Per-connection flow-control window: calls of one connection in flight
+  // at once. Submissions beyond it queue on that connection (time spent
+  // there counts against the deadline and shows up as queued phase).
+  uint32_t per_conn_window = 4;
+};
+
+class ConnectionMux {
+ public:
+  using Completion = std::function<void(Status, std::vector<uint8_t>)>;
+
+  struct Stats {
+    uint64_t conns_opened = 0;
+    uint64_t calls = 0;
+    uint64_t completed = 0;        // ok completions
+    uint64_t retransmits = 0;
+    uint64_t stale_replies = 0;    // matched no in-flight (conn, xid)
+    uint64_t corrupt_replies = 0;
+    uint64_t flow_stalls = 0;      // queued behind a full per-conn window
+    uint64_t deadline_expiries = 0;
+    uint64_t unavailable_failures = 0;
+    uint64_t max_in_flight = 0;    // across all connections
+    uint64_t events = 0;           // event-queue dispatches
+  };
+
+  // `channel` and `events` must outlive the mux (and share the clock).
+  // Puts the channel into scheduled-delivery, conn-tagged mode.
+  ConnectionMux(DatagramChannel* channel, MuxPolicy policy,
+                EventQueue* events);
+
+  // Opens a new connection and returns its id (1-based; ids never reuse).
+  uint32_t OpenConnection();
+
+  // Submits one call on `conn` (which must be open). The mux allocates
+  // the per-connection xid and frames [xid][conn][body]. `done` fires
+  // exactly once — with the full reply datagram on OK, or a terminal
+  // kUnavailable / kDeadlineExceeded status.
+  void Submit(uint32_t conn, ByteSpan body, Completion done);
+
+  // Arms the reply poll — the server side calls this (via its
+  // reply_listener hook) after sending so the mux wakes when the frame
+  // lands.
+  void Poke();
+
+  // Invoked after every request transmission; the fleet wires it to
+  // ServerDispatch::Poke so the server polls the arrival.
+  void set_request_listener(std::function<void()> fn) {
+    request_listener_ = std::move(fn);
+  }
+
+  // Runs the event queue until every submitted call completed. Errors if
+  // the simulation stalls with calls outstanding.
+  Status Drive();
+
+  size_t outstanding() const { return outstanding_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingCall {
+    ClientCallState call;
+    Completion done;
+  };
+  struct InFlight {
+    uint32_t conn = 0;
+    ClientCallState call;
+    Completion done;
+    EventQueue::EventId rto_event = EventQueue::kInvalidEvent;
+  };
+  struct Conn {
+    uint32_t next_xid = 1;   // per-connection namespace
+    uint32_t in_flight = 0;  // window occupancy
+    std::deque<PendingCall> pending;
+  };
+
+  static uint64_t Key(uint32_t conn, uint32_t xid) {
+    return (static_cast<uint64_t>(conn) << 32) | xid;
+  }
+
+  // Every scheduled event reopens the connection scope it was scheduled
+  // under, so record points downstream of timers inherit the right tag.
+  EventQueue::EventId Schedule(uint64_t at_nanos, std::function<void()> fn);
+  void StartNext(uint32_t conn_id);
+  void TransmitCall(InFlight& f);
+  void OnRto(uint64_t key);
+  void ArmClientPoll();
+  void DrainReplies();
+  void Complete(uint64_t key, Status status, std::vector<uint8_t> reply);
+
+  DatagramChannel* channel_;
+  MuxPolicy policy_;
+  EventQueue* events_;
+  Rng jitter_;
+  std::function<void()> request_listener_;
+
+  uint32_t next_conn_ = 1;
+  std::map<uint32_t, Conn> conns_;
+  std::unordered_map<uint64_t, InFlight> in_flight_;  // by Key(conn, xid)
+  size_t outstanding_ = 0;  // submitted, not yet completed
+
+  bool client_poll_armed_ = false;
+  uint64_t client_poll_at_ = 0;
+  EventQueue::EventId client_poll_event_ = EventQueue::kInvalidEvent;
+
+  Stats stats_;
+};
+
+// Reads the second big-endian word of a mux-framed datagram — the
+// connection id slot. kDataLoss when the datagram is too short.
+Result<uint32_t> PeekMuxConn(ByteSpan datagram);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_RPC_MUX_H_

@@ -31,6 +31,8 @@ void ReplyCache::Insert(uint32_t xid, std::vector<uint8_t> reply) {
   if (entries_.size() >= capacity_ && !order_.empty()) {
     entries_.erase(order_.front());
     order_.pop_front();
+    ++evictions_;
+    TraceAdd(TraceCounter::kRpcDupCacheEvictions);
   }
   order_.push_back(xid);
   entries_.emplace(xid, Entry{std::move(reply), std::prev(order_.end())});
@@ -46,13 +48,65 @@ Result<uint32_t> PeekXid(ByteSpan datagram) {
          static_cast<uint32_t>(datagram[3]);
 }
 
+bool AtMostOnceEndpoint::ConnState::AlreadyExecuted(uint32_t xid) const {
+  return xid <= executed_upto || executed_above.count(xid) > 0;
+}
+
+void AtMostOnceEndpoint::ConnState::MarkExecuted(uint32_t xid) {
+  if (xid <= executed_upto) {
+    return;
+  }
+  if (xid == executed_upto + 1) {
+    executed_upto = xid;
+    // Close the gap: out-of-order executions become contiguous.
+    auto it = executed_above.begin();
+    while (it != executed_above.end() && *it == executed_upto + 1) {
+      executed_upto = *it;
+      it = executed_above.erase(it);
+    }
+    return;
+  }
+  executed_above.insert(xid);
+}
+
+AtMostOnceEndpoint::ConnState& AtMostOnceEndpoint::StateFor(uint32_t conn) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    it = conns_.emplace(conn, ConnState(cache_capacity_)).first;
+  }
+  return it->second;
+}
+
+ReplyCache& AtMostOnceEndpoint::CacheFor(uint32_t conn) {
+  return StateFor(conn).cache;
+}
+
+uint64_t AtMostOnceEndpoint::evictions() const {
+  uint64_t total = 0;
+  for (const auto& [conn, state] : conns_) {
+    total += state.cache.evictions();
+  }
+  return total;
+}
+
+const std::vector<uint8_t>* AtMostOnceEndpoint::FindCached(uint32_t conn,
+                                                           uint32_t xid) {
+  const std::vector<uint8_t>* cached = StateFor(conn).cache.Find(xid);
+  if (cached != nullptr) {
+    ++hits_;
+    TraceAdd(TraceCounter::kRpcDupCacheHits);
+  }
+  return cached;
+}
+
 Result<AtMostOnceEndpoint::Handled> AtMostOnceEndpoint::Handle(
-    ByteSpan request) {
+    uint32_t conn, ByteSpan request) {
   auto xid = PeekXid(request);
   if (!xid.ok()) {
     return xid.status();  // unparseable datagram: nothing to reply to
   }
-  if (const std::vector<uint8_t>* cached = cache_.Find(*xid)) {
+  ConnState& state = StateFor(conn);
+  if (const std::vector<uint8_t>* cached = state.cache.Find(*xid)) {
     // Duplicate request: hand back the cached reply, do NOT re-execute.
     ++hits_;
     TraceAdd(TraceCounter::kRpcDupCacheHits);
@@ -63,10 +117,19 @@ Result<AtMostOnceEndpoint::Handled> AtMostOnceEndpoint::Handle(
   if (!st.ok()) {
     return st;  // malformed request body: drop, as a real server would
   }
+  if (state.AlreadyExecuted(*xid)) {
+    // The cache missed on an xid this connection has executed before: LRU
+    // churn evicted the entry while the client was still retransmitting,
+    // and the handler just ran a second time. At-most-once is broken —
+    // count it loudly so the soak tests can gate it at zero.
+    ++evicted_reexecs_;
+    TraceAdd(TraceCounter::kRpcDupCacheEvictedReexecs);
+  }
+  state.MarkExecuted(*xid);
   ++misses_;
   TraceAdd(TraceCounter::kRpcDupCacheMisses);
-  cache_.Insert(*xid, std::move(reply));
-  return Handled{*xid, false, cache_.Find(*xid)};
+  state.cache.Insert(*xid, std::move(reply));
+  return Handled{*xid, false, state.cache.Find(*xid)};
 }
 
 uint64_t ClipRtoWait(uint64_t rto_nanos, uint64_t deadline_nanos,

@@ -39,6 +39,8 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -79,6 +81,10 @@ class ReplyCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  // How many entries LRU pressure has pushed out. An evicted xid that is
+  // still being retransmitted is the at-most-once hazard the per-
+  // connection sizing in AtMostOnceEndpoint exists to prevent.
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -87,6 +93,7 @@ class ReplyCache {
   };
 
   size_t capacity_;
+  uint64_t evictions_ = 0;
   std::unordered_map<uint32_t, Entry> entries_;
   std::list<uint32_t> order_;  // front = least recent, back = most recent
 };
@@ -98,9 +105,15 @@ class ReplyCache {
 using DatagramHandler =
     std::function<Status(ByteSpan request, std::vector<uint8_t>* reply)>;
 
-// Server half of the at-most-once state machine, shared by the serial and
-// pipelined transports: deduplicates on xid against the reply cache and
-// runs the handler at most once per xid.
+// Server half of the at-most-once state machine, shared by the serial,
+// pipelined, and multiplexed transports. At-most-once state is keyed by
+// the (connection, xid) pair: each connection gets its own xid namespace
+// and its own ReplyCache of cache_capacity entries, so two clients
+// colliding on an xid cannot poison each other's dedup state, total dedup
+// memory scales with the number of active connections, and one
+// connection's burst can never evict another connection's in-flight xid.
+// The single-argument Handle keeps the pre-mux contract — everything on
+// connection 0 — so the serial and pipelined transports are unchanged.
 class AtMostOnceEndpoint {
  public:
   struct Handled {
@@ -112,22 +125,57 @@ class AtMostOnceEndpoint {
   };
 
   AtMostOnceEndpoint(DatagramHandler handler, size_t cache_capacity = 256)
-      : handler_(std::move(handler)), cache_(cache_capacity) {}
+      : handler_(std::move(handler)), cache_capacity_(cache_capacity) {}
 
-  // Processes one request datagram. Non-OK means the datagram was
-  // unparseable or the handler rejected it — nothing executed beyond the
-  // (at most one) handler attempt, nothing to send.
-  Result<Handled> Handle(ByteSpan request);
+  // Processes one request datagram on `conn`'s at-most-once state. Non-OK
+  // means the datagram was unparseable or the handler rejected it —
+  // nothing executed beyond the (at most one) handler attempt, nothing to
+  // send.
+  Result<Handled> Handle(uint32_t conn, ByteSpan request);
+  Result<Handled> Handle(ByteSpan request) { return Handle(0, request); }
+
+  // Dedup probe without execution: the cached reply for (conn, xid), or
+  // nullptr. A hit counts as a dup-cache hit — the caller resends it (the
+  // dispatch loop probes before admission so a duplicate never occupies a
+  // worker or a run-queue slot).
+  const std::vector<uint8_t>* FindCached(uint32_t conn, uint32_t xid);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }  // == handler executions
-  ReplyCache& cache() { return cache_; }
+  // Executions of an xid this connection had already executed — the
+  // entry was evicted mid-retransmit and at-most-once was violated. The
+  // fleet soak gates this at zero; see ConnState for how it is detected.
+  uint64_t evicted_reexecs() const { return evicted_reexecs_; }
+  uint64_t evictions() const;  // summed over all connection caches
+  ReplyCache& cache() { return CacheFor(0); }  // the pre-mux conn-0 cache
+  ReplyCache& CacheFor(uint32_t conn);
+  size_t connections() const { return conns_.size(); }
 
  private:
+  struct ConnState {
+    explicit ConnState(size_t capacity) : cache(capacity) {}
+    ReplyCache cache;
+    // Exact executed-xid memory backing the eviction hazard detector:
+    // every xid <= executed_upto has executed, plus the out-of-order set
+    // above it (gaps close as delayed first deliveries land, so the set
+    // stays small under monotonic per-connection allocation). This
+    // cannot replace the cache — it remembers THAT an xid executed, not
+    // the reply bytes — but it can prove a re-execution exactly.
+    uint64_t executed_upto = 0;
+    std::set<uint32_t> executed_above;
+
+    bool AlreadyExecuted(uint32_t xid) const;
+    void MarkExecuted(uint32_t xid);
+  };
+
+  ConnState& StateFor(uint32_t conn);
+
   DatagramHandler handler_;
-  ReplyCache cache_;
+  size_t cache_capacity_;
+  std::map<uint32_t, ConnState> conns_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evicted_reexecs_ = 0;
 };
 
 // Client half of the at-most-once state machine for one call: the attempt

@@ -1,0 +1,94 @@
+// Fleet — an open-loop many-client workload generator for the mux stack.
+//
+// The serial/pipelined benchmarks drive one client in a closed loop: each
+// call waits for the previous completion, so the offered load collapses
+// exactly when the server saturates and the knee never shows. A fleet is
+// the opposite: N simulated clients (one mux connection each) submit
+// calls at precomputed arrival times drawn from a seeded interarrival
+// process — Poisson (exponential interarrivals) or heavy-tailed (bounded
+// Pareto, alpha 1.5) — regardless of whether earlier calls completed.
+// Offered load stays fixed while latency grows without bound past
+// saturation, which is what lets the saturation sweep locate the knee.
+//
+// The op mix models an NFS client population (weights from the paper's
+// workload discussion): getattr 40%, lookup 26%, read 22% (bimodal reply
+// sizes 512/2048/8192), write 8% (bimodal request sizes), readdir 4%.
+// Request bodies carry [op u32][reply_size u32][pad]; the server handler
+// echoes the mux prefix and fills reply_size deterministic bytes.
+//
+// Everything — arrivals, op draws, sizes, faults, jitter — derives from
+// FleetConfig::seed through SplitMix64 streams, so one config produces
+// byte-identical recordings run over run. The at-most-once proof in the
+// fleet soak threads an `executions` map through the handler: one entry
+// per (conn, xid) key, incremented per handler run, gated at <= 1.
+
+#ifndef FLEXRPC_SRC_SIM_FLEET_H_
+#define FLEXRPC_SRC_SIM_FLEET_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/net/datagram.h"
+#include "src/net/fault.h"
+#include "src/net/link.h"
+#include "src/rpc/dispatch.h"
+#include "src/rpc/mux.h"
+#include "src/support/status.h"
+
+namespace flexrpc {
+
+// The fleet's default wire: a fast LAN (1 Gbit/s, 50 us per-packet
+// latency) so the saturation knee lands on the server worker pool, not
+// on the paper's 10 Mbit/s Ethernet.
+inline LinkModel::Config FleetLinkConfig() {
+  LinkModel::Config c;
+  c.bandwidth_bits_per_sec = 1e9;
+  c.per_packet_latency_sec = 50e-6;
+  return c;
+}
+
+struct FleetConfig {
+  uint32_t num_clients = 10;
+  uint32_t calls_per_client = 20;
+  // Mean interarrival per client; fleet-wide offered load is
+  // num_clients / mean (open loop: arrivals never wait for completions).
+  uint64_t mean_interarrival_nanos = 2'000'000;
+  bool heavy_tailed = false;  // bounded Pareto instead of exponential
+  uint64_t seed = 1;
+  LinkModel::Config link = FleetLinkConfig();
+  FaultConfig fault_a_to_b;   // client -> server wire faults
+  FaultConfig fault_b_to_a;   // server -> client wire faults
+  MuxPolicy mux;
+  DispatchPolicy dispatch;
+};
+
+struct FleetResult {
+  Status status = Status::Ok();  // non-OK: the simulation stalled
+  uint64_t completed = 0;        // ok completions
+  uint64_t failed = 0;           // kUnavailable / kDeadlineExceeded
+  uint64_t span_nanos = 0;       // first arrival to last completion
+  double throughput_cps = 0;     // completions per virtual second
+  // Call latency (submission to completion, virtual) percentiles.
+  uint64_t p50_nanos = 0;
+  uint64_t p99_nanos = 0;
+  uint64_t p999_nanos = 0;
+  ConnectionMux::Stats mux;
+  ServerDispatch::Stats dispatch;
+  DatagramChannel::Stats wire;
+  uint64_t dup_replies = 0;      // server answers from the reply cache
+  uint64_t executions = 0;       // handler runs
+  uint64_t cache_evictions = 0;  // summed over per-connection caches
+  uint64_t evicted_reexecs = 0;  // at-most-once violations (gate: 0)
+};
+
+// Runs one fleet to completion on a fresh virtual clock. When
+// `executions` is non-null, every handler run increments
+// (*executions)[(conn << 32) | xid] — the per-call execution census the
+// at-most-once proof gates at <= 1.
+FleetResult RunFleet(const FleetConfig& config,
+                     std::map<uint64_t, uint64_t>* executions = nullptr);
+
+}  // namespace flexrpc
+
+#endif  // FLEXRPC_SRC_SIM_FLEET_H_

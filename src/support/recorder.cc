@@ -23,6 +23,7 @@ std::vector<RecordedEvent> g_slots;
 std::atomic<uint64_t> g_next{0};
 
 thread_local uint32_t tls_replica_tag = 0;
+thread_local uint32_t tls_conn_tag = 0;
 
 uint64_t WallNanos() {
   return static_cast<uint64_t>(
@@ -43,6 +44,7 @@ void RecordSlow(RecEvent type, RecEndpoint endpoint, uint32_t xid,
   slot.b = b;
   slot.xid = xid;
   slot.replica = tls_replica_tag;
+  slot.conn = tls_conn_tag;
   slot.type = type;
   slot.endpoint = endpoint;
 }
@@ -74,6 +76,7 @@ constexpr std::string_view kRecEventNames[kRecEventCount] = {
     "cwnd_change",
     "failover",
     "rebind",
+    "dispatch_shed",
 };
 
 constexpr std::string_view kRecEndpointNames[kRecEndpointCount] = {
@@ -144,6 +147,17 @@ RecorderReplicaScope::~RecorderReplicaScope() {
 uint32_t RecorderReplicaScope::Current() {
   return rec_internal::tls_replica_tag;
 }
+
+RecorderConnScope::RecorderConnScope(uint32_t conn_tag)
+    : prev_tag_(rec_internal::tls_conn_tag) {
+  rec_internal::tls_conn_tag = conn_tag;
+}
+
+RecorderConnScope::~RecorderConnScope() {
+  rec_internal::tls_conn_tag = prev_tag_;
+}
+
+uint32_t RecorderConnScope::Current() { return rec_internal::tls_conn_tag; }
 
 bool RecorderCallScope::Active() { return tls_scope_active; }
 
@@ -221,6 +235,11 @@ std::string RecordingToJson(const Recording& recording,
       // replica field existed — and all single-transport recordings —
       // serialize byte-identically.
       w.Key("r").UInt(e.replica);
+    }
+    if (e.conn != 0) {
+      // Same rule as "r": only multiplexed runs carry the key, so every
+      // single-connection recording stays byte-identical.
+      w.Key("c").UInt(e.conn);
     }
     w.Key("vt").UInt(e.virtual_nanos);
     w.Key("a").UInt(e.a);
@@ -302,6 +321,9 @@ Result<Recording> ParseRecording(std::string_view json) {
     if (const JsonValue* r = entry.Find("r"); r != nullptr && r->IsNumber()) {
       e.replica = static_cast<uint32_t>(r->number);
     }
+    if (const JsonValue* c = entry.Find("c"); c != nullptr && c->IsNumber()) {
+      e.conn = static_cast<uint32_t>(c->number);
+    }
     FLEXRPC_ASSIGN_OR_RETURN(e.virtual_nanos, RequireUInt(entry, "vt"));
     FLEXRPC_ASSIGN_OR_RETURN(e.a, RequireUInt(entry, "a"));
     FLEXRPC_ASSIGN_OR_RETURN(e.b, RequireUInt(entry, "b"));
@@ -350,6 +372,9 @@ void ChromeEventHead(JsonWriter& w, std::string_view name,
 void ChromeArgsXid(JsonWriter& w, const RecordedEvent& e) {
   w.Key("args").BeginObject();
   w.Key("xid").UInt(e.xid);
+  if (e.conn != 0) {
+    w.Key("conn").UInt(e.conn);
+  }
   if (e.a != 0) {
     w.Key("a").UInt(e.a);
   }
@@ -449,30 +474,35 @@ std::string ExportChromeTrace(const Recording& recording) {
   // Marshal and server spans never nest within a track, so open-span
   // bookkeeping is a stack of labels.
   std::map<uint64_t, std::vector<std::string_view>> open_spans;  // by tid
-  // Async call spans keyed by xid, same repair rules. A rebound call is
+  // Async call spans keyed by (conn, xid), same repair rules — xids are
+  // only unique per connection under the mux. A rebound call is
   // resubmitted under the same xid on another replica; its async span
   // stays open from the first submission until the one completion.
-  std::vector<uint32_t> open_calls;
+  std::vector<uint64_t> open_calls;
+  auto call_key = [](const RecordedEvent& e) {
+    return (static_cast<uint64_t>(e.conn) << 32) | e.xid;
+  };
 
   for (const RecordedEvent* ep : ordered) {
     const RecordedEvent& e = *ep;
     switch (e.type) {
       case RecEvent::kCallSubmit: {
-        if (std::find(open_calls.begin(), open_calls.end(), e.xid) !=
+        if (std::find(open_calls.begin(), open_calls.end(), call_key(e)) !=
             open_calls.end()) {
           break;  // re-issue on another replica; span already open
         }
         ChromeEventHead(w, "call", "b", e.virtual_nanos, e.endpoint,
                         e.replica);
         w.Key("cat").String("rpc");
-        w.Key("id").UInt(e.xid);
+        w.Key("id").UInt(call_key(e));
         ChromeArgsXid(w, e);
         w.EndObject();
-        open_calls.push_back(e.xid);
+        open_calls.push_back(call_key(e));
         break;
       }
       case RecEvent::kCallComplete: {
-        auto it = std::find(open_calls.begin(), open_calls.end(), e.xid);
+        auto it =
+            std::find(open_calls.begin(), open_calls.end(), call_key(e));
         if (it == open_calls.end()) {
           break;  // begin lost to truncation
         }
@@ -480,7 +510,7 @@ std::string ExportChromeTrace(const Recording& recording) {
         ChromeEventHead(w, "call", "e", e.virtual_nanos, e.endpoint,
                         e.replica);
         w.Key("cat").String("rpc");
-        w.Key("id").UInt(e.xid);
+        w.Key("id").UInt(call_key(e));
         ChromeArgsXid(w, e);
         w.EndObject();
         break;
@@ -538,10 +568,10 @@ std::string ExportChromeTrace(const Recording& recording) {
       w.EndObject();
     }
   }
-  for (uint32_t xid : open_calls) {
+  for (uint64_t key : open_calls) {
     ChromeEventHead(w, "call", "e", last_nanos, RecEndpoint::kClient);
     w.Key("cat").String("rpc");
-    w.Key("id").UInt(xid);
+    w.Key("id").UInt(key);
     w.EndObject();
   }
 

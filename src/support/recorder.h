@@ -82,6 +82,8 @@ enum class RecEvent : uint8_t {
                      //                                  4 new primary
   kRebind,           // in-flight xid re-issued          a=new replica tag,
                      //                                  b=old replica tag
+  kDispatchShed,     // server shed the request at a     a=queue depth,
+                     //   full accept/run queue          b=1 accept, 2 run
   kCount,
 };
 
@@ -116,6 +118,10 @@ struct RecordedEvent {
   uint32_t replica = 0;  // replica tag from the enclosing
                          // RecorderReplicaScope; 0 = unreplicated (the
                          // single-transport paths never set one)
+  uint32_t conn = 0;     // connection tag from the enclosing
+                         // RecorderConnScope; 0 = unmultiplexed. Call
+                         // identity under the mux is the (conn, xid) pair —
+                         // xids are only unique per connection.
   RecEvent type = RecEvent::kCallSubmit;
   RecEndpoint endpoint = RecEndpoint::kClient;
 };
@@ -189,6 +195,30 @@ class RecorderReplicaScope {
   RecorderReplicaScope& operator=(const RecorderReplicaScope&) = delete;
 
   // Current thread's replica tag (0 when no scope is open).
+  static uint32_t Current();
+
+ private:
+  uint32_t prev_tag_;
+};
+
+// Thread-local connection context, the multiplexed sibling of
+// RecorderReplicaScope. The mux and the server dispatch open this scope
+// around every per-connection operation (submission, timer events, reply
+// handling, worker assignment), and the conn-tagging DatagramChannel opens
+// it around wire events, so the whole record-point surface inherits the
+// (conn, xid) call identity without signature changes. Events recorded
+// outside any scope carry conn 0 and serialize exactly as before — all
+// single-connection recordings are byte-identical to pre-mux ones. Scopes
+// nest; tags are 1-based (ConnectionMux assigns them from OpenConnection).
+class RecorderConnScope {
+ public:
+  explicit RecorderConnScope(uint32_t conn_tag);
+  ~RecorderConnScope();
+
+  RecorderConnScope(const RecorderConnScope&) = delete;
+  RecorderConnScope& operator=(const RecorderConnScope&) = delete;
+
+  // Current thread's connection tag (0 when no scope is open).
   static uint32_t Current();
 
  private:

@@ -88,6 +88,16 @@ constexpr std::string_view kCounterNames[kTraceCounterCount] = {
     "rpc.binder.cutovers",
     "rpc.failover.suspects",
     "rpc.failover.reinstates",
+    "rpc.mux.conns_opened",
+    "rpc.mux.calls",
+    "rpc.mux.retransmits",
+    "rpc.mux.stale_replies",
+    "rpc.mux.flow_stalls",
+    "rpc.dispatch.accepts",
+    "rpc.dispatch.executions",
+    "rpc.dispatch.shed",
+    "rpc.dupcache.evictions",
+    "rpc.dupcache.evicted_reexecs",
     "marshal.ops.scalar",
     "marshal.ops.bytes",
     "marshal.ops.string",
@@ -124,6 +134,7 @@ constexpr std::string_view kHistogramNames[kTraceHistogramCount] = {
     "rpc.dispatch_nanos",
     "ipc.message_bytes",
     "net.transfer_virtual_nanos",
+    "rpc.dispatch.queue_depth",
 };
 
 // Enum/name-table drift guard. The array extents above already force the

@@ -115,6 +115,20 @@ enum class TraceCounter : uint16_t {
   kRpcBinderCutovers,        // rpc.binder.cutovers (primary changed)
   kRpcFailoverSuspects,      // rpc.failover.suspects (healthy -> suspect)
   kRpcFailoverReinstates,    // rpc.failover.reinstates (probe succeeded)
+  kRpcMuxConnsOpened,        // rpc.mux.conns_opened
+  kRpcMuxCalls,              // rpc.mux.calls (submissions across all conns)
+  kRpcMuxRetransmits,        // rpc.mux.retransmits
+  kRpcMuxStaleReplies,       // rpc.mux.stale_replies (no in-flight match)
+  kRpcMuxFlowStalls,         // rpc.mux.flow_stalls (queued behind the
+                             //   per-connection window)
+  kRpcDispatchAccepts,       // rpc.dispatch.accepts (frames admitted)
+  kRpcDispatchExecutions,    // rpc.dispatch.executions (worker runs)
+  kRpcDispatchShed,          // rpc.dispatch.shed (requests dropped at a
+                             //   full accept/run queue)
+  kRpcDupCacheEvictions,     // rpc.dupcache.evictions (LRU pushed an xid out)
+  kRpcDupCacheEvictedReexecs,  // rpc.dupcache.evicted_reexecs (an evicted
+                               //   xid was executed again — the at-most-once
+                               //   hazard the per-connection sizing prevents)
 
   // marshal: interpreter opcode mix.
   kMarshalOpScalar,          // marshal.ops.scalar
@@ -159,6 +173,8 @@ enum class TraceHistogram : uint16_t {
   kRpcDispatchNanos,         // rpc.dispatch_nanos (server-side dispatch)
   kIpcMessageBytes,          // ipc.message_bytes (per-message size)
   kNetTransferVirtualNanos,  // net.transfer_virtual_nanos (modeled wire)
+  kRpcDispatchQueueDepth,    // rpc.dispatch.queue_depth (run-queue depth
+                             //   observed at each admission)
   kCount,
 };
 

@@ -443,5 +443,143 @@ TEST(RecorderTest, WindowOccupancyCountsOverlappingCalls) {
   EXPECT_EQ(analysis.window.front().at_nanos, 10u);
 }
 
+// --- (conn, xid)-keyed analysis and truncation accounting ---------------
+
+RecordedEvent MakeConnEvent(uint32_t conn, RecEvent type, RecEndpoint ep,
+                            uint32_t xid, uint64_t vt, uint64_t a = 0,
+                            uint64_t b = 0) {
+  RecordedEvent e = MakeEvent(type, ep, xid, vt, a, b);
+  e.conn = conn;
+  return e;
+}
+
+TEST(RecorderTest, ConnKeyedCallsAnalyzeSeparately) {
+  // Two mux connections colliding on xid 1. Keyed by bare xid the
+  // analyzer would fuse them into one nonsense call (two submits, two
+  // completes); keyed by (conn, xid) each attributes independently and
+  // the phase-sum invariant holds for both.
+  Recording rec;
+  rec.capacity = 32;
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kCallSubmit,
+                                     RecEndpoint::kClient, 1, 0, 100));
+  rec.events.push_back(MakeConnEvent(2, RecEvent::kCallSubmit,
+                                     RecEndpoint::kClient, 1, 5, 100));
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kWireTx,
+                                     RecEndpoint::kWireAtoB, 1, 10, 5, 40));
+  rec.events.push_back(MakeConnEvent(2, RecEvent::kWireTx,
+                                     RecEndpoint::kWireAtoB, 1, 15, 5, 40));
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kCallComplete,
+                                     RecEndpoint::kClient, 1, 100, 0));
+  rec.events.push_back(MakeConnEvent(2, RecEvent::kCallComplete,
+                                     RecEndpoint::kClient, 1, 120, 0));
+  rec.total_events = rec.events.size();
+
+  RecordingAnalysis analysis = AnalyzeRecording(rec);
+  ASSERT_EQ(analysis.calls.size(), 2u);
+  EXPECT_EQ(analysis.completed_calls, 2u);
+  EXPECT_EQ(analysis.truncated_calls, 0u);
+  EXPECT_EQ(analysis.calls[0].conn, 1u);
+  EXPECT_EQ(analysis.calls[1].conn, 2u);
+  EXPECT_EQ(analysis.calls[0].total_nanos, 100u);
+  EXPECT_EQ(analysis.calls[1].total_nanos, 115u);
+  for (const CallBreakdown& c : analysis.calls) {
+    uint64_t sum = c.queued_nanos + c.req_wire_nanos + c.req_prop_nanos +
+                   c.server_exec_nanos + c.reply_wire_nanos +
+                   c.reply_prop_nanos + c.wait_nanos;
+    EXPECT_EQ(sum, c.total_nanos) << "conn " << c.conn;
+  }
+}
+
+TEST(RecorderTest, RingTruncatedSubmitIsMarkedNotMisattributed) {
+  // Bugfix regression. When the ring overwrote a call's kCallSubmit, the
+  // analyzer used to drop the call silently — the report's call count
+  // disagreed with its own completion events and the "phases sum to
+  // total" invariant was unverifiable. Such calls are now listed, marked
+  // truncated, counted in truncated_calls, and excluded from aggregates
+  // (their span has no anchor).
+  Recording rec;
+  rec.capacity = 8;
+  rec.dropped_events = 5;  // the ring wrapped; xid 7's submit is gone
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kServerExecBegin,
+                                     RecEndpoint::kServer, 7, 500, 10));
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kServerExecEnd,
+                                     RecEndpoint::kServer, 7, 520, 10));
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kCallComplete,
+                                     RecEndpoint::kClient, 7, 600, 0));
+  // An intact call alongside it still attributes normally.
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kCallSubmit,
+                                     RecEndpoint::kClient, 8, 700, 100));
+  rec.events.push_back(MakeConnEvent(1, RecEvent::kCallComplete,
+                                     RecEndpoint::kClient, 8, 800, 0));
+  rec.total_events = rec.events.size() + rec.dropped_events;
+
+  RecordingAnalysis analysis = AnalyzeRecording(rec);
+  EXPECT_EQ(analysis.truncated_calls, 1u);
+  EXPECT_EQ(analysis.completed_calls, 1u);  // only the intact call
+  ASSERT_EQ(analysis.calls.size(), 2u);
+  const CallBreakdown* truncated = nullptr;
+  const CallBreakdown* intact = nullptr;
+  for (const CallBreakdown& c : analysis.calls) {
+    (c.truncated ? truncated : intact) = &c;
+  }
+  ASSERT_NE(truncated, nullptr);
+  ASSERT_NE(intact, nullptr);
+  EXPECT_EQ(truncated->xid, 7u);
+  EXPECT_FALSE(truncated->complete);  // not a completed, attributable call
+  EXPECT_EQ(truncated->total_nanos, 0u);  // nothing summed from a lost span
+  EXPECT_EQ(intact->xid, 8u);
+  EXPECT_EQ(intact->total_nanos, 100u);
+  // The report names the truncation instead of silently shrinking.
+  std::string report = RenderReport(analysis);
+  EXPECT_NE(report.find("truncated"), std::string::npos);
+}
+
+TEST(RecorderTest, ConnFieldSerializesOnlyWhenTagged) {
+  // Conn 0 (every pre-mux recording) serializes without a "c" key, so
+  // existing recordings stay byte-identical; tagged events round-trip.
+  Recording untagged = SmallRecording();
+  std::string untagged_json = RecordingToJson(untagged);
+  EXPECT_EQ(untagged_json.find("\"c\""), std::string::npos);
+
+  Recording tagged = SmallRecording();
+  for (RecordedEvent& e : tagged.events) {
+    e.conn = 42;
+  }
+  std::string tagged_json = RecordingToJson(tagged);
+  EXPECT_NE(tagged_json.find("\"c\""), std::string::npos);
+  auto parsed = ParseRecording(tagged_json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), tagged.events.size());
+  for (const RecordedEvent& e : parsed->events) {
+    EXPECT_EQ(e.conn, 42u);
+  }
+  // And an untagged round trip parses conn back to 0.
+  auto untagged_parsed = ParseRecording(untagged_json);
+  ASSERT_TRUE(untagged_parsed.ok());
+  EXPECT_EQ(untagged_parsed->events[0].conn, 0u);
+}
+
+TEST(RecorderTest, ConnScopeNestsAndTagsEvents) {
+  EXPECT_EQ(RecorderConnScope::Current(), 0u);
+  RecorderSession session(/*capacity=*/8);
+  {
+    RecorderConnScope outer(5);
+    EXPECT_EQ(RecorderConnScope::Current(), 5u);
+    RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, 1, 10);
+    {
+      RecorderConnScope inner(9);
+      RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, 1, 20);
+    }
+    EXPECT_EQ(RecorderConnScope::Current(), 5u);
+    RecordEvent(RecEvent::kCallComplete, RecEndpoint::kClient, 1, 30);
+  }
+  EXPECT_EQ(RecorderConnScope::Current(), 0u);
+  Recording rec = session.Stop();
+  ASSERT_EQ(rec.events.size(), 3u);
+  EXPECT_EQ(rec.events[0].conn, 5u);
+  EXPECT_EQ(rec.events[1].conn, 9u);
+  EXPECT_EQ(rec.events[2].conn, 5u);
+}
+
 }  // namespace
 }  // namespace flexrpc

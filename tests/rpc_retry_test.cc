@@ -254,6 +254,122 @@ TEST(AtMostOnceEndpointTest, LruKeepsRetransmittedXidExactlyOnce) {
   EXPECT_EQ(endpoint.misses(), 3u);
 }
 
+// --- (connection, xid)-keyed at-most-once (the mux-era bugfixes) ---------
+
+// Builds a mux-framed request: [xid u32 BE][conn u32 BE][marker].
+std::vector<uint8_t> ConnRequest(uint32_t conn, uint32_t xid,
+                                 uint8_t marker) {
+  return {static_cast<uint8_t>(xid >> 24),  static_cast<uint8_t>(xid >> 16),
+          static_cast<uint8_t>(xid >> 8),   static_cast<uint8_t>(xid),
+          static_cast<uint8_t>(conn >> 24), static_cast<uint8_t>(conn >> 16),
+          static_cast<uint8_t>(conn >> 8),  static_cast<uint8_t>(conn),
+          marker};
+}
+
+// An endpoint whose handler echoes the request and counts executions per
+// (conn, xid) key — the evidence for every at-most-once claim below.
+struct ConnEndpointRig {
+  explicit ConnEndpointRig(size_t cache_capacity = 256)
+      : endpoint(
+            [this](ByteSpan request, std::vector<uint8_t>* reply) {
+              auto xid = PeekXid(request);
+              if (!xid.ok()) {
+                return xid.status();
+              }
+              ++executions[(static_cast<uint64_t>(last_conn) << 32) | *xid];
+              reply->assign(request.begin(), request.end());
+              return Status::Ok();
+            },
+            cache_capacity) {}
+
+  Result<AtMostOnceEndpoint::Handled> Handle(uint32_t conn, uint32_t xid,
+                                             uint8_t marker) {
+    last_conn = conn;
+    std::vector<uint8_t> request = ConnRequest(conn, xid, marker);
+    return endpoint.Handle(conn, ByteSpan(request.data(), request.size()));
+  }
+
+  AtMostOnceEndpoint endpoint;
+  std::map<uint64_t, int> executions;
+  uint32_t last_conn = 0;
+};
+
+TEST(AtMostOnceEndpointTest, ConnectionsDoNotShareXidSpace) {
+  // Bugfix regression. At-most-once state used to be keyed by bare xid;
+  // under the mux every connection allocates xids from 1, so two clients
+  // collide immediately: the second connection's FIRST request on xid 1
+  // matched the first connection's cached reply — answered with another
+  // client's bytes and never executed. Keying by (conn, xid) makes both
+  // first requests execute, each with its own reply.
+  ConnEndpointRig rig;
+  auto first = rig.Handle(/*conn=*/1, /*xid=*/1, /*marker=*/0xA1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->dup_hit);
+  std::vector<uint8_t> first_reply = *first->reply;
+
+  auto second = rig.Handle(/*conn=*/2, /*xid=*/1, /*marker=*/0xB2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->dup_hit);  // pre-fix: dup_hit, handler skipped
+  EXPECT_NE(*second->reply, first_reply);
+  EXPECT_EQ(second->reply->back(), 0xB2);
+
+  EXPECT_EQ(rig.executions[(1ull << 32) | 1], 1);
+  EXPECT_EQ(rig.executions[(2ull << 32) | 1], 1);
+  // Each connection's retransmit still hits its own cache.
+  auto dup = rig.Handle(/*conn=*/2, /*xid=*/1, /*marker=*/0xB2);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(dup->dup_hit);
+  EXPECT_EQ(rig.executions[(2ull << 32) | 1], 1);
+}
+
+TEST(AtMostOnceEndpointTest, PerConnectionCachesIsolateEviction) {
+  // Bugfix regression. With one shared fixed-capacity cache, a burst on
+  // one connection evicted other connections' in-flight entries — the
+  // noisy-neighbor at-most-once hazard. Capacity is per connection now:
+  // conn 2 churning through 3x capacity cannot touch conn 1's entry.
+  ConnEndpointRig rig(/*cache_capacity=*/2);
+  ASSERT_TRUE(rig.Handle(1, 1, 0x11).ok());
+  for (uint32_t xid = 1; xid <= 6; ++xid) {
+    ASSERT_TRUE(rig.Handle(2, xid, 0x22).ok());  // evicts only conn 2's
+  }
+  auto dup = rig.Handle(1, 1, 0x11);  // retransmit mid-flight
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(dup->dup_hit);  // pre-fix: evicted, re-executed
+  EXPECT_EQ(rig.executions[(1ull << 32) | 1], 1);
+  EXPECT_GE(rig.endpoint.CacheFor(2).evictions(), 4u);
+  EXPECT_EQ(rig.endpoint.CacheFor(1).evictions(), 0u);
+}
+
+TEST(AtMostOnceEndpointTest, EvictionDuringRetransmitIsCountedExactly) {
+  // The detector itself: when capacity pressure DOES evict an xid that is
+  // still being retransmitted, the re-execution cannot be prevented (the
+  // reply bytes are gone) but it must be counted — the endpoint keeps an
+  // exact executed-xid memory per connection, so the violation shows up
+  // as evicted_reexecs() == 1, which the fleet soak gates at zero.
+  ConnEndpointRig rig(/*cache_capacity=*/2);
+  ASSERT_TRUE(rig.Handle(1, 1, 0x01).ok());
+  ASSERT_TRUE(rig.Handle(1, 2, 0x02).ok());
+  ASSERT_TRUE(rig.Handle(1, 3, 0x03).ok());  // evicts xid 1
+  EXPECT_EQ(rig.endpoint.evictions(), 1u);
+  EXPECT_EQ(rig.endpoint.evicted_reexecs(), 0u);
+  auto re = rig.Handle(1, 1, 0x01);  // late retransmit of the evicted xid
+  ASSERT_TRUE(re.ok());
+  EXPECT_FALSE(re->dup_hit);                      // cache cannot help
+  EXPECT_EQ(rig.executions[(1ull << 32) | 1], 2);  // violation happened...
+  EXPECT_EQ(rig.endpoint.evicted_reexecs(), 1u);   // ...and was counted
+}
+
+TEST(AtMostOnceEndpointTest, ReorderedFirstDeliveryIsNotAReexec) {
+  // No false positives: out-of-order FIRST deliveries (wire reorder) are
+  // first executions, not re-executions — the detector tracks the exact
+  // executed set, not a high-water mark.
+  ConnEndpointRig rig(/*cache_capacity=*/2);
+  ASSERT_TRUE(rig.Handle(1, 3, 0x03).ok());  // arrives first
+  ASSERT_TRUE(rig.Handle(1, 1, 0x01).ok());  // delayed below the max xid
+  ASSERT_TRUE(rig.Handle(1, 2, 0x02).ok());
+  EXPECT_EQ(rig.endpoint.evicted_reexecs(), 0u);
+}
+
 TEST(PeekXidTest, BigEndianAndTruncation) {
   uint8_t bytes[] = {0x01, 0x02, 0x03, 0x04, 0xFF};
   auto xid = PeekXid(ByteSpan(bytes, sizeof(bytes)));

@@ -29,8 +29,8 @@ run_suite() {
   # and the replica-death failover sweep (label: failover); repeat them as
   # their own step so lossy-wire and failover regressions surface with a
   # dedicated line in every configuration, sanitizers included.
-  echo "== fault-injection + failover soak ($build_dir) =="
-  ctest --test-dir "$build_dir" -L "fault|failover" \
+  echo "== fault-injection + failover + fleet soak ($build_dir) =="
+  ctest --test-dir "$build_dir" -L "fault|failover|fleet" \
     --output-on-failure -j "$JOBS"
 }
 

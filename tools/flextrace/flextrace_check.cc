@@ -92,6 +92,18 @@ constexpr const char* kGatedCounters[] = {
     "rpc.binder.cutovers",
     "rpc.failover.suspects",
     "rpc.failover.reinstates",
+    // Fleet stack (connection mux + worker-pool dispatch). Exact for a
+    // fixed seed: arrivals, faults, sheds, and retransmits all replay.
+    "rpc.mux.conns_opened",
+    "rpc.mux.calls",
+    "rpc.mux.retransmits",
+    "rpc.mux.stale_replies",
+    "rpc.mux.flow_stalls",
+    "rpc.dispatch.accepts",
+    "rpc.dispatch.executions",
+    "rpc.dispatch.shed",
+    "rpc.dupcache.evictions",
+    "rpc.dupcache.evicted_reexecs",
 };
 
 // Histogram *counts* are gated too: the number of observations (marshals,
@@ -105,6 +117,7 @@ constexpr const char* kGatedHistogramCounts[] = {
     "rpc.dispatch_nanos.count",
     "ipc.message_bytes.count",
     "net.transfer_virtual_nanos.count",
+    "rpc.dispatch.queue_depth.count",
 };
 
 Result<std::string> ReadFile(const std::string& path) {
