@@ -25,17 +25,21 @@
 
 #include "bench/bench_util.h"
 #include "src/analysis/flexrec.h"
+#include "src/analysis/flexwatch.h"
 #include "src/sim/fleet.h"
 #include "src/support/recorder.h"
+#include "src/support/timeline.h"
 
 namespace {
 
 using flexrpc::AnalyzeRecording;
+using flexrpc::AnalyzeTimeline;
 using flexrpc::CallBreakdown;
 using flexrpc::FleetConfig;
 using flexrpc::FleetResult;
 using flexrpc::RecordingAnalysis;
 using flexrpc::RunFleet;
+using flexrpc::WatchAnalysis;
 
 // Server sized so the knee falls inside the sweep: 8 workers at ~70 us
 // per call handle ~115k calls/s; the fleet offers ~333 calls/s per
@@ -108,6 +112,35 @@ Attribution Attribute(const RecordingAnalysis& analysis) {
     out.dominant = "server";
   }
   return out;
+}
+
+// flexrec's view of the saturation onset: bin completed calls by submit
+// window and find the first window where queued+wait time exceeds half of
+// total call time — the queued-phase flip, the per-call counterpart of
+// flexwatch's queue-depth-growth rule.
+int64_t QueuedFlipWindow(const RecordingAnalysis& analysis,
+                         uint64_t start_nanos, uint64_t tick_nanos,
+                         uint64_t ticks) {
+  std::vector<uint64_t> queued(ticks, 0);
+  std::vector<uint64_t> total(ticks, 0);
+  for (const CallBreakdown& call : analysis.calls) {
+    if (!call.complete || call.truncated || call.status_code != 0 ||
+        call.submit_nanos < start_nanos) {
+      continue;
+    }
+    uint64_t w = (call.submit_nanos - start_nanos) / tick_nanos;
+    if (w >= ticks) {
+      continue;
+    }
+    queued[w] += call.queued_nanos + call.wait_nanos;
+    total[w] += call.total_nanos;
+  }
+  for (uint64_t w = 0; w < ticks; ++w) {
+    if (total[w] > 0 && 2 * queued[w] > total[w]) {
+      return static_cast<int64_t>(w);
+    }
+  }
+  return -1;
 }
 
 void BM_Fleet(benchmark::State& state) {
@@ -203,17 +236,54 @@ int main(int argc, char** argv) {
   }
   std::printf("saturation knee at: %s\n", knee);
 
+  // flexwatch cross-check at 1000 clients (the past-knee decade): the
+  // timeline's queue-growth onset window versus flexrec's queued-phase
+  // flip, computed from one recorded run with a 1 ms sampler tick. Two
+  // independent detectors — one watches the server's queue depth, one
+  // attributes each call's time — must land on the same neighborhood.
+  constexpr uint64_t kTickNanos = 1'000'000;
+  FleetConfig watch_config = MakeConfig(1000, calls_per_client, false);
+  watch_config.timeline_tick_nanos = kTickNanos;
+  flexrpc::Recording watch_recording;
+  FleetResult watch_result = harness.Untraced([&] {
+    flexrpc::RecorderSession rec_session(1u << 20);
+    FleetResult r = RunFleet(watch_config);
+    watch_recording = rec_session.Stop();
+    return r;
+  });
+  if (!watch_result.status.ok()) {
+    std::fprintf(stderr, "fleet watch run failed: %s\n",
+                 watch_result.status.ToString().c_str());
+    std::abort();
+  }
+  WatchAnalysis watch = AnalyzeTimeline(watch_result.timeline);
+  int64_t flip = QueuedFlipWindow(AnalyzeRecording(watch_recording),
+                                  watch_result.timeline.start_nanos,
+                                  kTickNanos, watch_result.timeline.ticks);
+  bool agree =
+      watch.onset_window >= 0 && flip >= 0 &&
+      (watch.onset_window > flip ? watch.onset_window - flip
+                                 : flip - watch.onset_window) <= 3;
+  std::printf(
+      "onset cross-check (1000 clients, 1 ms windows): flexwatch window "
+      "%lld, flexrec flip window %lld -> %s\n",
+      static_cast<long long>(watch.onset_window),
+      static_cast<long long>(flip), agree ? "agree" : "DISAGREE");
+
   if (harness.record()) {
-    harness.Untraced([&] {
-      flexrpc::RecorderSession rec_session(1u << 20);
-      (void)RunFleet(MakeConfig(100, calls_per_client, false));
-      flexrpc::Recording recording = rec_session.Stop();
-      harness.WriteArtifact("REC_fleet_nfs.json",
-                            flexrpc::RecordingToJson(recording));
-      harness.WriteArtifact("TRACE_fleet_nfs.json",
-                            flexrpc::ExportChromeTrace(recording));
-      return 0;
-    });
+    // All three artifacts from the same deterministic watch run, so the
+    // recording, the Chrome trace, and the timeline describe one virtual
+    // history. The counter tracks (ph:"C") put queue depth, in-flight,
+    // cwnd, shed, and throughput under the span rows in Perfetto.
+    harness.WriteArtifact("REC_fleet_nfs.json",
+                          flexrpc::RecordingToJson(watch_recording));
+    harness.WriteArtifact(
+        "TRACE_fleet_nfs.json",
+        flexrpc::ExportChromeTrace(watch_recording,
+                                   &watch_result.timeline));
+    harness.WriteArtifact(
+        "TIMELINE_fleet_nfs.json",
+        flexrpc::TimelineToJson(watch_result.timeline));
   }
 
   for (const Row& row : rows) {
@@ -235,5 +305,9 @@ int main(int argc, char** argv) {
                    "");
     harness.Report(key + "_queued_pct", row.attribution.queued_pct, "%");
   }
+  harness.Report("c1000_onset_window_flexwatch",
+                 static_cast<double>(watch.onset_window), "");
+  harness.Report("c1000_onset_window_flexrec",
+                 static_cast<double>(flip), "");
   return harness.Finish();
 }

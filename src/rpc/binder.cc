@@ -5,6 +5,7 @@
 
 #include "src/support/recorder.h"
 #include "src/support/strings.h"
+#include "src/support/timeline.h"
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -112,6 +113,7 @@ void BinderTransport::Submit(uint32_t xid, ByteSpan request,
 void BinderTransport::SubmitToReplica(uint32_t xid, size_t replica) {
   BoundCall& call = calls_.at(xid);
   call.replica = replica;
+  call.issued_nanos = Now();
   ++stats_.per_replica_calls[replica];
   group_->transport(replica)->Submit(
       xid, ByteSpan(call.request.data(), call.request.size()),
@@ -128,6 +130,10 @@ void BinderTransport::OnInnerComplete(uint32_t xid, size_t replica,
     return;  // completion from a binding this call has already left
   }
   if (status.ok()) {
+    // flexwatch: time the replica took to answer this (re)issue, tagged
+    // with the replica so a timeline attributes slow windows to it.
+    WatchObserve(WatchSeries::kReplicaLatency, ReplicaGroup::Tag(replica),
+                 Now() - it->second.issued_nanos);
     Finish(xid, std::move(status), std::move(reply));
     return;
   }

@@ -164,6 +164,8 @@ class BinderTransport {
     Completion done;
     size_t replica = 0;
     uint32_t reissues = 0;
+    uint64_t issued_nanos = 0;  // last (re)issue time — flexwatch
+                                // per-replica latency is measured from it
   };
 
   uint64_t Now();

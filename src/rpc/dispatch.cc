@@ -6,6 +6,7 @@
 #include "src/rpc/mux.h"
 
 #include "src/support/recorder.h"
+#include "src/support/timeline.h"
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -124,6 +125,7 @@ void ServerDispatch::PumpRequests() {
       continue;  // unparseable or rejected: nothing to send back
     }
     TraceObserve(TraceHistogram::kRpcDispatchQueueDepth, depth);
+    WatchObserve(WatchSeries::kQueueDepth, 0, depth);
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
     ++stats_.executions;
     TraceAdd(TraceCounter::kRpcDispatchExecutions);
@@ -139,6 +141,13 @@ void ServerDispatch::PumpRequests() {
     uint64_t finish = start + service_.ProcessNanos(handled->reply->size());
     worker_free_[w] = finish;
     stats_.busy_nanos += finish - start;
+    // The modeled execution span, deterministically: the worker's CPU
+    // window is scheduled rather than elapsed, so a wall-clock TraceSpan
+    // cannot time it (and would poison byte-identical artifacts if it
+    // tried). Observed directly instead; per-worker for flexwatch.
+    TraceObserve(TraceHistogram::kRpcDispatchNanos, finish - start);
+    WatchObserve(WatchSeries::kWorkerExec, static_cast<uint32_t>(w + 1),
+                 finish - start);
     if (start > now) {
       queued_starts_.push_back(start);
     }

@@ -88,6 +88,13 @@ class ServerDispatch {
   const Stats& stats() const { return stats_; }
   AtMostOnceEndpoint& endpoint() { return endpoint_; }
 
+  // Run-queue depth right now (pruned to the current clock) — the
+  // flexwatch queue-depth gauge. Pruning only discards starts that have
+  // already passed, so sampling never perturbs the simulation.
+  uint64_t CurrentQueueDepth() {
+    return QueueDepth(events_->clock()->now_nanos());
+  }
+
  private:
   EventQueue::EventId Schedule(uint64_t at_nanos, std::function<void()> fn);
   void ArmAcceptPoll();

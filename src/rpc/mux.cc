@@ -5,6 +5,7 @@
 
 #include "src/support/recorder.h"
 #include "src/support/strings.h"
+#include "src/support/timeline.h"
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -35,10 +36,24 @@ ConnectionMux::ConnectionMux(DatagramChannel* channel, MuxPolicy policy,
 
 uint32_t ConnectionMux::OpenConnection() {
   uint32_t conn = next_conn_++;
-  conns_.emplace(conn, Conn{});
+  conns_.emplace(conn, Conn(policy_.retry.adaptive.rtt,
+                            policy_.retry.adaptive.window));
   ++stats_.conns_opened;
   TraceAdd(TraceCounter::kRpcMuxConnsOpened);
   return conn;
+}
+
+uint64_t ConnectionMux::total_window() const {
+  uint64_t total = 0;
+  for (const auto& [id, c] : conns_) {
+    total += WindowFor(c);
+  }
+  return total;
+}
+
+const RttEstimator* ConnectionMux::conn_rtt(uint32_t conn) const {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? nullptr : &it->second.rtt;
 }
 
 EventQueue::EventId ConnectionMux::Schedule(uint64_t at_nanos,
@@ -83,7 +98,7 @@ void ConnectionMux::Submit(uint32_t conn_id, ByteSpan body, Completion done) {
   RecordEvent(RecEvent::kCallSubmit, RecEndpoint::kClient, xid,
               events_->clock()->now_nanos(),
               /*a=*/pending.call.request.size());
-  if (c.in_flight >= policy_.per_conn_window) {
+  if (c.in_flight >= WindowFor(c)) {
     ++stats_.flow_stalls;
     TraceAdd(TraceCounter::kRpcMuxFlowStalls);
   }
@@ -98,7 +113,7 @@ void ConnectionMux::StartNext(uint32_t conn_id) {
     return;
   }
   Conn& c = conn_it->second;
-  while (c.in_flight < policy_.per_conn_window && !c.pending.empty()) {
+  while (c.in_flight < WindowFor(c) && !c.pending.empty()) {
     PendingCall next = std::move(c.pending.front());
     c.pending.pop_front();
     uint64_t key = Key(conn_id, next.call.xid);
@@ -130,11 +145,17 @@ void ConnectionMux::TransmitCall(InFlight& f) {
   }
   uint64_t now = events_->clock()->now_nanos();
   bool expires = false;
-  // Fixed RTO schedule only: a shared adaptive estimator would conflate N
-  // connections' samples, and per-connection estimators are the noted
-  // follow-on (ROADMAP item 2) — policy_.retry.adaptive is ignored here.
-  uint64_t wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now,
-                                         &expires);
+  uint64_t wait;
+  auto conn_it = conns_.find(f.conn);
+  if (policy_.retry.adaptive.enabled && conn_it != conns_.end()) {
+    // This connection's estimator owns the RTO (and its Karn backoff —
+    // see OnRto); samples never cross connections, so a slow peer cannot
+    // inflate this one's timer.
+    wait = ClipRtoWait(conn_it->second.rtt.rto_nanos(),
+                       f.call.deadline_nanos, &jitter_, now, &expires);
+  } else {
+    wait = f.call.NextBackoffWait(policy_.retry, &jitter_, now, &expires);
+  }
   // When the wait was clipped the timer fires at the deadline and OnRto
   // fails the call; no special case needed here.
   uint64_t key = Key(f.conn, f.call.xid);
@@ -151,6 +172,21 @@ void ConnectionMux::OnRto(uint64_t key) {
   uint64_t now = events_->clock()->now_nanos();
   RecordEvent(RecEvent::kRtoFire, RecEndpoint::kClient, f.call.xid, now,
               /*a=*/f.call.attempts);
+  auto conn_it = conns_.find(f.conn);
+  if (policy_.retry.adaptive.enabled && conn_it != conns_.end() &&
+      !f.call.DeadlinePassed(now)) {
+    // A genuine timeout on this connection: Karn-backoff its RTO until
+    // the next clean sample, and signal its AIMD loss. OnLoss holds off
+    // repeat decreases for one RTO, so a burst of timeouts from one
+    // congestion episode halves this connection's window once.
+    Conn& c = conn_it->second;
+    c.rtt.Backoff();
+    if (c.cwnd.OnLoss(now, c.rtt.rto_nanos())) {
+      ++stats_.cwnd_decreases;
+      RecordEvent(RecEvent::kCwndChange, RecEndpoint::kClient, f.call.xid,
+                  now, /*a=*/c.cwnd.window(), /*b=*/1);
+    }
+  }
   if (f.call.AttemptsExhausted(policy_.retry)) {
     Complete(key, UnavailableError(StrFormat(
                       "no reply for conn %u xid %u after %u attempts",
@@ -229,6 +265,30 @@ void ConnectionMux::DrainReplies() {
                {});
       continue;
     }
+    if (policy_.retry.adaptive.enabled) {
+      auto conn_state = conns_.find(*conn);
+      if (conn_state != conns_.end()) {
+        Conn& c = conn_state->second;
+        if (it->second.call.attempts == 1) {
+          // Karn's rule, per connection: only a reply to this
+          // connection's never-retransmitted request is an unambiguous
+          // measurement of *its* path.
+          uint64_t sample = now - it->second.call.last_tx_nanos;
+          c.rtt.Sample(sample);
+          ++stats_.rtt_samples;
+          RecordEvent(RecEvent::kRttSample, RecEndpoint::kClient, *xid,
+                      now, /*a=*/sample, /*b=*/c.rtt.rto_nanos());
+        } else {
+          ++stats_.karn_skips;
+          TraceAdd(TraceCounter::kRpcRttKarnSkips);
+        }
+        if (c.cwnd.OnAck()) {
+          ++stats_.cwnd_increases;
+          RecordEvent(RecEvent::kCwndChange, RecEndpoint::kClient, *xid,
+                      now, /*a=*/c.cwnd.window(), /*b=*/0);
+        }
+      }
+    }
     RecordEvent(RecEvent::kReplyMatch, RecEndpoint::kClient, *xid, now,
                 /*a=*/datagram->size());
     Complete(key, Status::Ok(), std::move(*datagram));
@@ -249,6 +309,10 @@ void ConnectionMux::Complete(uint64_t key, Status status,
   }
   if (status.ok()) {
     ++stats_.completed;
+    // flexwatch: per-connection submit-to-complete latency (queued time
+    // behind the window included, exactly like the deadline accounting).
+    WatchObserve(WatchSeries::kCallLatency, f.conn,
+                 events_->clock()->now_nanos() - f.call.submit_nanos);
   } else if (status.code() == StatusCode::kUnavailable) {
     ++stats_.unavailable_failures;
     TraceAdd(TraceCounter::kRpcUnavailableFailures);

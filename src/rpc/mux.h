@@ -24,8 +24,15 @@
 // NextDeliveryNanos. Per-connection flow control mirrors the pipelined
 // window: at most per_conn_window calls of one connection are in flight,
 // the rest queue (counted as flow stalls, attributed as queued time).
-// The adaptive RTT/AIMD machinery is deliberately not wired up here —
-// per-connection estimators are the noted follow-on (ROADMAP item 2).
+//
+// When policy.retry.adaptive.enabled, every connection carries its own
+// RttEstimator + AimdController (the ROADMAP item 1/2 follow-on): the
+// estimator RTO replaces the fixed doubling schedule and the AIMD window
+// replaces per_conn_window, keyed per connection so one slow connection's
+// samples can never inflate another's RTO. Corrupt replies carry no
+// (conn, xid) identity, so — unlike the single-connection pipelined
+// transport — they feed no per-connection loss signal; the owning call's
+// RTO covers them.
 //
 // The server side is ServerDispatch (src/rpc/dispatch.h); the two halves
 // share the channel and the EventQueue and wake each other through
@@ -73,6 +80,11 @@ class ConnectionMux {
     uint64_t unavailable_failures = 0;
     uint64_t max_in_flight = 0;    // across all connections
     uint64_t events = 0;           // event-queue dispatches
+    // Adaptive-mode accounting (all zero when adaptive is disabled).
+    uint64_t rtt_samples = 0;      // clean per-connection RTT measurements
+    uint64_t karn_skips = 0;       // retransmit-ambiguous replies skipped
+    uint64_t cwnd_increases = 0;   // per-connection additive growth
+    uint64_t cwnd_decreases = 0;   // per-connection halvings
   };
 
   // `channel` and `events` must outlive the mux (and share the clock).
@@ -107,6 +119,19 @@ class ConnectionMux {
   size_t outstanding() const { return outstanding_; }
   const Stats& stats() const { return stats_; }
 
+  // Calls currently in flight across all connections — the flexwatch
+  // in-flight gauge.
+  size_t in_flight_calls() const { return in_flight_.size(); }
+
+  // Sum of every open connection's effective window (AIMD when adaptive,
+  // the fixed per_conn_window otherwise) — the flexwatch cwnd gauge.
+  uint64_t total_window() const;
+
+  // The per-connection estimator, or nullptr for an unknown connection.
+  // Meaningful when policy.retry.adaptive.enabled; tests assert one
+  // connection's RTO is untouched by another's slow replies.
+  const RttEstimator* conn_rtt(uint32_t conn) const;
+
  private:
   struct PendingCall {
     ClientCallState call;
@@ -122,7 +147,18 @@ class ConnectionMux {
     uint32_t next_xid = 1;   // per-connection namespace
     uint32_t in_flight = 0;  // window occupancy
     std::deque<PendingCall> pending;
+    // Per-connection adaptive state; idle unless adaptive.enabled.
+    RttEstimator rtt;
+    AimdController cwnd;
+    Conn(const RttConfig& rtt_config, const AimdConfig& window_config)
+        : rtt(rtt_config), cwnd(window_config) {}
   };
+
+  // Effective flow-control window for one connection.
+  uint32_t WindowFor(const Conn& c) const {
+    return policy_.retry.adaptive.enabled ? c.cwnd.window()
+                                          : policy_.per_conn_window;
+  }
 
   static uint64_t Key(uint32_t conn, uint32_t xid) {
     return (static_cast<uint64_t>(conn) << 32) | xid;

@@ -5,6 +5,7 @@
 
 #include "src/support/recorder.h"
 #include "src/support/strings.h"
+#include "src/support/timeline.h"
 #include "src/support/trace.h"
 
 namespace flexrpc {
@@ -215,6 +216,9 @@ void PipelinedTransport::PumpServerSide() {
     uint64_t start = std::max(now, server_free_nanos_);
     uint64_t finish = start + server_model_.ProcessNanos(handled->reply->size());
     server_free_nanos_ = finish;
+    // Modeled (scheduled, not elapsed) exec span — observed directly so
+    // the histogram carries deterministic virtual durations.
+    TraceObserve(TraceHistogram::kRpcDispatchNanos, finish - start);
     // The modeled CPU span lies in the clock's future; the recorder takes
     // explicit timestamps for exactly this reason.
     RecordEvent(RecEvent::kServerExecBegin, RecEndpoint::kServer,
@@ -325,7 +329,13 @@ void PipelinedTransport::Complete(uint32_t xid, Status status,
   if (pos != start_order_.end()) {
     start_order_.erase(pos);
   }
-  if (status.code() == StatusCode::kUnavailable) {
+  if (status.ok()) {
+    // flexwatch: submit-to-complete latency. The pipelined transport is
+    // single-connection, so the series is untagged (dim 0).
+    WatchObserve(WatchSeries::kCallLatency, 0,
+                 events_->clock()->now_nanos() -
+                     it->second.call.submit_nanos);
+  } else if (status.code() == StatusCode::kUnavailable) {
     ++stats_.unavailable_failures;
     TraceAdd(TraceCounter::kRpcUnavailableFailures);
   } else if (status.code() == StatusCode::kDeadlineExceeded) {

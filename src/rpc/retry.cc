@@ -178,7 +178,12 @@ void RetryingTransport::PumpServer() {
       ++stats_.dup_cache_hits;
     } else {
       ++stats_.dup_cache_misses;
-      // Charge the remote CPU for the one real execution.
+      // Charge the remote CPU for the one real execution. The span is
+      // virtual-clock-fed: Process advances the clock inline, and a
+      // wall-clock TraceSpan here would leak host nanos into artifacts
+      // that are gated on byte identity.
+      VirtualTraceSpan exec_span(TraceHistogram::kRpcDispatchNanos,
+                                 channel_->clock());
       RecordEvent(RecEvent::kServerExecBegin, RecEndpoint::kServer,
                   handled->xid, channel_->clock()->now_nanos(),
                   /*a=*/handled->reply->size());

@@ -188,6 +188,8 @@ struct ClientCallState {
   uint32_t attempts = 0;         // transmissions so far
   uint64_t rto_nanos = 0;
   uint64_t deadline_nanos = 0;   // absolute, on the virtual clock
+  uint64_t submit_nanos = 0;     // when Arm ran — submit-to-complete
+                                 // latency for flexwatch series
   uint64_t last_tx_nanos = 0;    // most recent transmission time — an RTT
                                  // sample is reply time minus this, valid
                                  // only when attempts == 1 (Karn's rule)
@@ -195,6 +197,7 @@ struct ClientCallState {
   void Arm(const RetryPolicy& policy, uint64_t now_nanos) {
     attempts = 0;
     rto_nanos = policy.initial_rto_nanos;
+    submit_nanos = now_nanos;
     deadline_nanos = now_nanos + policy.deadline_nanos;
   }
 

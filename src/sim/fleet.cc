@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "src/support/event_queue.h"
@@ -127,6 +128,31 @@ FleetResult RunFleet(const FleetConfig& config,
   mux.set_request_listener([&dispatch]() { dispatch.Poke(); });
   dispatch.set_reply_listener([&mux]() { mux.Poke(); });
 
+  // flexwatch: the sampler rides the same event queue. Its ticks only
+  // *read* mux/dispatch state, so the simulation's event interleaving —
+  // and every recording and trace counter — is identical with or without
+  // it; the timeline itself is deterministic because the run is.
+  std::optional<TimelineSampler> sampler;
+  if (config.timeline_tick_nanos != 0) {
+    sampler.emplace(&events, config.timeline_tick_nanos);
+    sampler->AddCounter("mux.completed",
+                        [&mux]() { return mux.stats().completed; });
+    sampler->AddCounter("mux.retransmits",
+                        [&mux]() { return mux.stats().retransmits; });
+    sampler->AddCounter("dispatch.executions",
+                        [&dispatch]() { return dispatch.stats().executions; });
+    sampler->AddCounter("dispatch.shed", [&dispatch]() {
+      return dispatch.stats().shed_accept + dispatch.stats().shed_run;
+    });
+    sampler->AddGauge("mux.in_flight", [&mux]() {
+      return static_cast<uint64_t>(mux.in_flight_calls());
+    });
+    sampler->AddGauge("mux.total_window",
+                      [&mux]() { return mux.total_window(); });
+    sampler->AddGauge("dispatch.queue_depth",
+                      [&dispatch]() { return dispatch.CurrentQueueDepth(); });
+  }
+
   FleetResult result;
   std::vector<uint64_t> latencies;
   latencies.reserve(static_cast<size_t>(config.num_clients) *
@@ -166,7 +192,13 @@ FleetResult RunFleet(const FleetConfig& config,
     }
   }
 
+  if (sampler) {
+    sampler->Start();
+  }
   while (events.RunNext()) {
+  }
+  if (sampler) {
+    result.timeline = sampler->Stop();
   }
   if (mux.outstanding() != 0) {
     result.status = InternalError(

@@ -35,6 +35,7 @@
 #include "src/rpc/dispatch.h"
 #include "src/rpc/mux.h"
 #include "src/support/status.h"
+#include "src/support/timeline.h"
 
 namespace flexrpc {
 
@@ -61,6 +62,11 @@ struct FleetConfig {
   FaultConfig fault_b_to_a;   // server -> client wire faults
   MuxPolicy mux;
   DispatchPolicy dispatch;
+  // flexwatch: when non-zero, a TimelineSampler rides the fleet's event
+  // queue at this virtual tick, and FleetResult.timeline carries the
+  // finished per-window series (queue depth, in-flight, cwnd, sheds,
+  // throughput) and per-connection/per-worker latency sketches.
+  uint64_t timeline_tick_nanos = 0;
 };
 
 struct FleetResult {
@@ -80,6 +86,7 @@ struct FleetResult {
   uint64_t executions = 0;       // handler runs
   uint64_t cache_evictions = 0;  // summed over per-connection caches
   uint64_t evicted_reexecs = 0;  // at-most-once violations (gate: 0)
+  Timeline timeline;             // empty unless timeline_tick_nanos set
 };
 
 // Runs one fleet to completion on a fresh virtual clock. When

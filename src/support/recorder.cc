@@ -8,6 +8,7 @@
 
 #include "src/support/json.h"
 #include "src/support/strings.h"
+#include "src/support/timeline.h"
 
 namespace flexrpc {
 namespace rec_internal {
@@ -389,9 +390,37 @@ struct SpanKind {
   RecEvent end_type;
 };
 
+// One flexwatch series as a Perfetto counter track: a ph:"C" event per
+// recorded window, stamped at the window-close time (the final partial
+// window closes at end_nanos). tid 0 keeps counter tracks off the
+// endpoint thread tracks.
+void ChromeCounterSeries(JsonWriter& w, const Timeline& timeline,
+                         const Timeline::Series& series) {
+  for (size_t k = 0; k < series.samples.size(); ++k) {
+    uint64_t ts = timeline.start_nanos + (k + 1) * timeline.tick_nanos;
+    if (ts > timeline.end_nanos) {
+      ts = timeline.end_nanos;
+    }
+    w.BeginObject();
+    w.Key("name").String(series.name);
+    w.Key("ph").String("C");
+    w.Key("ts").RawNumber(ChromeTs(ts));
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(0);
+    w.Key("args").BeginObject().Key("value").UInt(series.samples[k])
+        .EndObject();
+    w.EndObject();
+  }
+}
+
 }  // namespace
 
 std::string ExportChromeTrace(const Recording& recording) {
+  return ExportChromeTrace(recording, nullptr);
+}
+
+std::string ExportChromeTrace(const Recording& recording,
+                              const Timeline* timeline) {
   // Stable-sort by virtual time: ring order is the deterministic
   // tie-break, and B/E pairing below requires chronological order.
   std::vector<const RecordedEvent*> ordered;
@@ -573,6 +602,15 @@ std::string ExportChromeTrace(const Recording& recording) {
     w.Key("cat").String("rpc");
     w.Key("id").UInt(key);
     w.EndObject();
+  }
+
+  if (timeline != nullptr) {
+    for (const Timeline::Series& series : timeline->counters) {
+      ChromeCounterSeries(w, *timeline, series);
+    }
+    for (const Timeline::Series& series : timeline->gauges) {
+      ChromeCounterSeries(w, *timeline, series);
+    }
   }
 
   w.EndArray();

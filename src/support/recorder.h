@@ -279,6 +279,15 @@ Result<Recording> ParseRecording(std::string_view json);
 // timestamp, and a "truncated" instant event reports the dropped count.
 std::string ExportChromeTrace(const Recording& recording);
 
+// Same export, plus Perfetto counter tracks (ph:"C") when `timeline` is
+// non-null: every flexwatch counter and gauge series (queue depth, cwnd,
+// in-flight, shed rate, throughput deltas) becomes a value-over-time
+// track sampled at its window-close timestamps. Passing nullptr is
+// byte-identical to the single-argument overload.
+struct Timeline;
+std::string ExportChromeTrace(const Recording& recording,
+                              const Timeline* timeline);
+
 }  // namespace flexrpc
 
 #endif  // FLEXRPC_SRC_SUPPORT_RECORDER_H_

@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/support/timing.h"
+
 namespace flexrpc {
 
 // The closed counter catalog. Names (TraceCounterName) are dot-separated
@@ -261,6 +263,37 @@ class TraceSpan {
   TraceHistogram histogram_;
   bool armed_;
   std::chrono::steady_clock::time_point start_;
+};
+
+// RAII *virtual-clock* span feeding a histogram. TraceSpan reads the host
+// clock, so its observations differ run-over-run — fine for the osim
+// microbenches it times, but poison for any artifact gated on byte
+// identity. Deterministic paths (the event-driven transports, whose
+// server-exec time is charged to a VirtualClock) use this variant: the
+// recorded duration is however far the models advanced the clock between
+// construction and destruction, so two same-seed runs observe identical
+// values. A null clock disarms the span.
+class VirtualTraceSpan {
+ public:
+  VirtualTraceSpan(TraceHistogram h, const VirtualClock* clock)
+      : histogram_(h), clock_(TraceEnabled() ? clock : nullptr) {
+    if (clock_ != nullptr) {
+      start_nanos_ = clock_->now_nanos();
+    }
+  }
+  ~VirtualTraceSpan() {
+    if (clock_ != nullptr) {
+      TraceObserve(histogram_, clock_->now_nanos() - start_nanos_);
+    }
+  }
+
+  VirtualTraceSpan(const VirtualTraceSpan&) = delete;
+  VirtualTraceSpan& operator=(const VirtualTraceSpan&) = delete;
+
+ private:
+  TraceHistogram histogram_;
+  const VirtualClock* clock_;
+  uint64_t start_nanos_ = 0;
 };
 
 // Point-in-time copy of the whole registry.

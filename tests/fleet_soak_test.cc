@@ -24,12 +24,20 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
+#include "src/net/datagram.h"
 #include "src/net/fault.h"
+#include "src/rpc/dispatch.h"
 #include "src/rpc/mux.h"
+#include "src/rpc/rtt.h"
 #include "src/sim/fleet.h"
+#include "src/support/bytes.h"
+#include "src/support/event_queue.h"
 #include "src/support/recorder.h"
 #include "src/support/rng.h"
+#include "src/support/timeline.h"
+#include "src/support/timing.h"
 
 namespace flexrpc {
 namespace {
@@ -232,6 +240,162 @@ TEST(FleetSoakTest, HeavyTailedArrivalsStallTheWindowNotTheProof) {
   EXPECT_EQ(executions.size(), total);
   AssertAtMostOnce(executions, total);
   EXPECT_EQ(result.evicted_reexecs, 0u);
+}
+
+// Satellite: per-connection RTT estimation. One mux, two connections on
+// one wire and one worker pool: connection A issues fast calls (16-byte
+// replies), connection B issues slow ones (50 KB replies, ~50 ms of
+// modeled service each, paced so B occupies at most one of two workers).
+// With a single shared estimator — the failing-before shape — B's 50 ms
+// samples would drag the shared srtt up and inflate A's RTO past B's RTT.
+// Per-connection estimators keep A's RTO derived from A's own samples.
+TEST(FleetSoakTest, AdaptiveRtoIsPerConnection) {
+  VirtualClock clock;
+  EventQueue events(&clock);
+  DatagramChannel channel(LinkModel(FleetLinkConfig()), FaultPlan(),
+                          FaultPlan(), &clock);
+  DatagramHandler handler = [](ByteSpan request,
+                               std::vector<uint8_t>* reply) {
+    ByteReader r(request);
+    auto xid = r.ReadU32Be();
+    auto conn = r.ReadU32Be();
+    auto reply_size = r.ReadU32Be();
+    if (!xid.ok() || !conn.ok() || !reply_size.ok()) {
+      return InvalidArgumentError("short request");
+    }
+    reply->clear();
+    auto push_u32 = [reply](uint32_t v) {
+      reply->push_back(static_cast<uint8_t>(v >> 24));
+      reply->push_back(static_cast<uint8_t>(v >> 16));
+      reply->push_back(static_cast<uint8_t>(v >> 8));
+      reply->push_back(static_cast<uint8_t>(v));
+    };
+    push_u32(*xid);
+    push_u32(*conn);
+    reply->resize(8 + *reply_size, 0xCD);
+    return Status::Ok();
+  };
+
+  MuxPolicy policy;
+  policy.retry.max_attempts = 12;
+  policy.retry.deadline_nanos = 8'000'000'000;
+  policy.retry.adaptive.enabled = true;
+  // First-sample RTO above B's ~50 ms service time, so neither connection
+  // retransmits and every reply yields a clean (Karn-admissible) sample.
+  policy.retry.adaptive.rtt.initial_rto_nanos = 200'000'000;
+  // A's converged RTO floors here. 5 ms absorbs the wire-sharing delay a
+  // 50 KB reply of B's adds in front of A's reply (~0.5 ms) while staying
+  // an order of magnitude under B's srtt — the inequality under test.
+  policy.retry.adaptive.rtt.min_rto_nanos = 5'000'000;
+
+  DispatchPolicy dispatch_policy;
+  dispatch_policy.workers = 2;
+  dispatch_policy.service.per_byte_sec = 1e-6;  // 1 us/byte: size is cost
+
+  ConnectionMux mux(&channel, policy, &events);
+  ServerDispatch dispatch(&channel, std::move(handler), dispatch_policy,
+                          &events);
+  mux.set_request_listener([&dispatch]() { dispatch.Poke(); });
+  dispatch.set_reply_listener([&mux]() { mux.Poke(); });
+
+  uint32_t conn_a = mux.OpenConnection();
+  uint32_t conn_b = mux.OpenConnection();
+  auto make_body = [](uint32_t reply_size) {
+    std::vector<uint8_t> body(4);
+    body[0] = static_cast<uint8_t>(reply_size >> 24);
+    body[1] = static_cast<uint8_t>(reply_size >> 16);
+    body[2] = static_cast<uint8_t>(reply_size >> 8);
+    body[3] = static_cast<uint8_t>(reply_size);
+    return body;
+  };
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  auto done = [&ok, &failed](Status st, std::vector<uint8_t>) {
+    st.ok() ? ++ok : ++failed;
+  };
+  // A: 30 fast calls every 10 ms. B: 8 slow calls every 100 ms — spaced
+  // past their own service time, so B never occupies both workers and A's
+  // samples measure A's service, not queueing behind B.
+  for (uint64_t k = 0; k < 30; ++k) {
+    events.ScheduleAt(1 + k * 10'000'000,
+                      [&mux, &make_body, &done, conn_a]() {
+                        auto body = make_body(16);
+                        mux.Submit(conn_a,
+                                   ByteSpan(body.data(), body.size()), done);
+                      });
+  }
+  for (uint64_t k = 0; k < 8; ++k) {
+    events.ScheduleAt(1 + k * 100'000'000,
+                      [&mux, &make_body, &done, conn_b]() {
+                        auto body = make_body(50'000);
+                        mux.Submit(conn_b,
+                                   ByteSpan(body.data(), body.size()), done);
+                      });
+  }
+  while (events.RunNext()) {
+  }
+
+  ASSERT_EQ(ok, 38u);
+  ASSERT_EQ(failed, 0u);
+  EXPECT_EQ(mux.stats().retransmits, 0u);
+
+  const RttEstimator* rtt_a = mux.conn_rtt(conn_a);
+  const RttEstimator* rtt_b = mux.conn_rtt(conn_b);
+  ASSERT_NE(rtt_a, nullptr);
+  ASSERT_NE(rtt_b, nullptr);
+  EXPECT_EQ(rtt_a->samples(), 30u);
+  EXPECT_EQ(rtt_b->samples(), 8u);
+  // B's RTT really is an order of magnitude above A's...
+  EXPECT_GT(rtt_b->srtt_nanos(), 8 * rtt_a->srtt_nanos());
+  // ...and the independence claim: A's RTO sits *below* B's smoothed RTT.
+  // A shared estimator would have folded B's ~50 ms samples into the
+  // srtt that A's RTO is derived from, forcing A's RTO above it.
+  EXPECT_LT(rtt_a->rto_nanos(), rtt_b->srtt_nanos());
+  EXPECT_EQ(mux.stats().rtt_samples, 38u);
+  EXPECT_EQ(mux.stats().karn_skips, 0u);
+}
+
+// flexwatch gate (tentpole): under the full fault matrix, the same seed
+// serializes to a byte-identical TIMELINE artifact — and installing the
+// sampler does not perturb the simulation (the flight recording with the
+// sampler running matches the recording without it, byte for byte).
+TEST(FleetSoakTest, SameSeedTimelineIsByteIdenticalAndNonPerturbing) {
+  FleetConfig config = SoakConfig(/*seed=*/4);
+  config.fault_a_to_b = FleetMixForSeed(4, 0xA2B);
+  config.fault_b_to_a = FleetMixForSeed(4, 0xB2A);
+  config.mux.retry.adaptive.enabled = true;  // cover the adaptive path too
+
+  auto run = [&](std::string* recording_json) {
+    RecorderSession session(1u << 18);
+    FleetResult result = RunFleet(config);
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    *recording_json = RecordingToJson(session.Stop());
+    return TimelineToJson(result.timeline);
+  };
+
+  std::string baseline_recording;
+  config.timeline_tick_nanos = 0;
+  run(&baseline_recording);
+
+  config.timeline_tick_nanos = 1'000'000;  // 1 ms virtual tick
+  std::string first_recording;
+  std::string second_recording;
+  std::string first = run(&first_recording);
+  std::string second = run(&second_recording);
+
+  // Same seed, same bytes — the discipline every artifact in this repo
+  // follows, now including the timeline.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first_recording, second_recording);
+  // The sampler only reads: the recording is identical with it installed.
+  EXPECT_EQ(baseline_recording, first_recording);
+
+  auto parsed = ParseTimeline(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tick_nanos, 1'000'000u);
+  EXPECT_GT(parsed->ticks, 0u);
+  EXPECT_FALSE(parsed->sketches.empty());
+  EXPECT_EQ(TimelineToJson(*parsed), first);  // parse/serialize round trip
 }
 
 }  // namespace

@@ -558,5 +558,58 @@ TEST(RetryingTransportTest, BackoffWaitsGrowExponentially) {
   EXPECT_LE(backoff, 7'000'000u + 3u * 250'000u + 3u);
 }
 
+// --- VirtualTraceSpan: no wall-clock leakage -----------------------------
+
+TEST(RetryingTransportTest, ServerExecSpanRecordsExactVirtualDuration) {
+  SetTraceEnabled(false);
+  ResetTrace();
+  {
+    TraceSession session;
+    EchoRig rig{FaultPlan(), FaultPlan()};
+    std::vector<uint8_t> reply;
+    ASSERT_TRUE(rig.Call(1, &reply).ok());
+    TraceSnapshot snap = session.Report();
+    const auto& h = snap.histogram(TraceHistogram::kRpcDispatchNanos);
+    // The span brackets server_model_.Process, which advances the virtual
+    // clock by exactly ProcessNanos(reply size) — the histogram sum must
+    // equal that modeled duration, not some host-dependent elapsed time.
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.sum, RemoteServerModel().ProcessNanos(reply.size()));
+  }
+  SetTraceEnabled(false);
+  ResetTrace();
+}
+
+TEST(RetryingTransportTest, TraceSnapshotIsByteIdenticalAcrossRuns) {
+  // Satellite regression: the server-exec path once timed itself with a
+  // wall-clock TraceSpan, leaking host nanos into rpc.dispatch_nanos and
+  // breaking same-seed byte identity of trace artifacts. Two identical
+  // seeded lossy workloads must now serialize identical snapshots,
+  // histograms included.
+  auto run = []() {
+    TraceSession session;
+    FaultConfig mixed = MixedFaults(/*seed=*/17);
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.deadline_nanos = 4'000'000'000;
+    policy.jitter_seed = 18;
+    EchoRig rig{FaultPlan(mixed), FaultPlan(mixed), policy};
+    std::vector<uint8_t> reply;
+    for (uint32_t xid = 1; xid <= 24; ++xid) {
+      (void)rig.Call(xid, &reply);
+    }
+    return session.ReportJson();
+  };
+  SetTraceEnabled(false);
+  ResetTrace();
+  std::string first = run();
+  std::string second = run();
+  SetTraceEnabled(false);
+  ResetTrace();
+  EXPECT_EQ(first, second);
+  // The workload actually exercised the histograms being compared.
+  EXPECT_NE(first.find("rpc.dispatch_nanos"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flexrpc

@@ -6,7 +6,8 @@
 #   tools/bench.sh --smoke --check    # + gate against bench/budgets/smoke.json
 #   tools/bench.sh --smoke --record   # + flight-recorder artifacts
 #                                     #   (REC_*.json + TRACE_*.json Chrome
-#                                     #   traces, from the benches that
+#                                     #   traces + TIMELINE_*.json flexwatch
+#                                     #   timelines, from the benches that
 #                                     #   support recording)
 #   OUT=dir BUILD=dir tools/bench.sh  # override output / build directories
 #
@@ -61,11 +62,18 @@ done
 echo "== artifacts =="
 ls -l "$OUT"/BENCH_*.json
 if [ -n "$RECORD" ]; then
-  ls -l "$OUT"/REC_*.json "$OUT"/TRACE_*.json
+  ls -l "$OUT"/REC_*.json "$OUT"/TRACE_*.json "$OUT"/TIMELINE_*.json
 fi
 
 if [ -n "$CHECK" ]; then
   echo "== budget gate =="
   "$BUILD"/tools/flextrace/flextrace_check \
     --budgets=bench/budgets/smoke.json "--dir=$OUT"
+  # The timeline gate needs the TIMELINE_*.json artifacts, which only the
+  # --record benches emit.
+  if [ -n "$RECORD" ]; then
+    echo "== timeline gate =="
+    "$BUILD"/tools/flextrace/flextrace_check --timeline \
+      --budgets=bench/budgets/timeline.json "--dir=$OUT"
+  fi
 fi

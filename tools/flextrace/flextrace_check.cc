@@ -9,6 +9,15 @@
 //   flextrace_check --budgets=bench/budgets/smoke.json --dir=OUT
 //   flextrace_check --budgets=bench/budgets/smoke.json --dir=OUT --update
 //
+// --timeline switches the gate to flexwatch TIMELINE_<name>.json
+// artifacts: tick counts, series counts, sketch-cell counts, and total
+// sketch samples are exact for a seeded run, so the timeline budgets pin
+// them the same way (same --update regeneration, same unified-diff
+// failure report):
+//
+//   flextrace_check --timeline --budgets=bench/budgets/timeline.json \
+//       --dir=OUT [--update]
+//
 // Exit code 0 = all benches within budget; 1 = violation or usage error.
 
 #include <cstdio>
@@ -22,6 +31,7 @@
 #include "src/support/json.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
+#include "src/support/timeline.h"
 
 namespace flexrpc {
 namespace {
@@ -185,6 +195,7 @@ struct Options {
   std::string budgets_path;
   std::string dir = ".";
   bool update = false;
+  bool timeline = false;  // gate TIMELINE_*.json instead of BENCH_*.json
 };
 
 // One out-of-budget counter, kept structured so the failure report can
@@ -259,6 +270,165 @@ void CheckBench(const std::string& bench, const JsonValue& artifact,
       drifts->push_back(Drift{bench, name, lo, hi, got});
     }
   }
+}
+
+// --- the --timeline gate -------------------------------------------------
+
+// The gated shape of a flexwatch timeline, all exact for a seeded run:
+// drift in tick count means the run's virtual span changed; drift in the
+// sketch-cell or sample counts means observations moved across windows,
+// dimensions, or series.
+struct TimelineShape {
+  uint64_t tick_nanos = 0;
+  uint64_t ticks = 0;
+  uint64_t counter_series = 0;
+  uint64_t gauge_series = 0;
+  uint64_t sketch_cells = 0;    // distinct (series, dim, window) sketches
+  uint64_t sketch_samples = 0;  // summed sketch counts
+};
+
+constexpr const char* kTimelineKeys[] = {
+    "tick_nanos",   "ticks",        "counter_series",
+    "gauge_series", "sketch_cells", "sketch_samples",
+};
+
+uint64_t TimelineKeyOf(const TimelineShape& shape, const std::string& key) {
+  if (key == "tick_nanos") return shape.tick_nanos;
+  if (key == "ticks") return shape.ticks;
+  if (key == "counter_series") return shape.counter_series;
+  if (key == "gauge_series") return shape.gauge_series;
+  if (key == "sketch_cells") return shape.sketch_cells;
+  if (key == "sketch_samples") return shape.sketch_samples;
+  return 0;
+}
+
+Result<TimelineShape> LoadTimelineShape(const std::string& path) {
+  FLEXRPC_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  auto timeline = ParseTimeline(text);
+  if (!timeline.ok()) {
+    return InvalidArgumentError(StrFormat(
+        "%s: %s", path.c_str(), timeline.status().message().c_str()));
+  }
+  TimelineShape shape;
+  shape.tick_nanos = timeline->tick_nanos;
+  shape.ticks = timeline->ticks;
+  shape.counter_series = timeline->counters.size();
+  shape.gauge_series = timeline->gauges.size();
+  shape.sketch_cells = timeline->sketches.size();
+  for (const auto& [key, sketch] : timeline->sketches) {
+    (void)key;
+    shape.sketch_samples += sketch.count();
+  }
+  return shape;
+}
+
+int RunTimeline(const Options& opts) {
+  auto budgets = LoadJson(opts.budgets_path);
+  if (!budgets.ok()) {
+    return Fail(budgets.status().ToString().c_str());
+  }
+  const JsonValue* schema = budgets->Find("schema");
+  if (schema == nullptr ||
+      schema->string != "flexrpc-timeline-budgets-v1") {
+    return Fail("timeline budgets file has missing/unknown schema");
+  }
+  const JsonValue* benches = budgets->Find("benches");
+  if (benches == nullptr || !benches->IsObject()) {
+    return Fail("timeline budgets file has no benches object");
+  }
+
+  if (opts.update) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("flexrpc-timeline-budgets-v1");
+    w.Key("benches").BeginObject();
+    for (const auto& [bench, unused] : benches->object) {
+      (void)unused;
+      auto shape =
+          LoadTimelineShape(opts.dir + "/TIMELINE_" + bench + ".json");
+      if (!shape.ok()) {
+        return Fail(shape.status().ToString().c_str());
+      }
+      w.Key(bench).BeginObject();
+      for (const char* key : kTimelineKeys) {
+        w.Key(key).UInt(TimelineKeyOf(*shape, key));
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    std::FILE* f = std::fopen(opts.budgets_path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail("cannot write timeline budgets file");
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("flextrace_check: rewrote %s (%zu timelines)\n",
+                opts.budgets_path.c_str(), benches->object.size());
+    return 0;
+  }
+
+  std::vector<std::string> violations;
+  std::vector<Drift> drifts;
+  for (const auto& [bench, budget] : benches->object) {
+    auto shape =
+        LoadTimelineShape(opts.dir + "/TIMELINE_" + bench + ".json");
+    if (!shape.ok()) {
+      violations.push_back(shape.status().ToString());
+      continue;
+    }
+    if (!budget.IsObject()) {
+      violations.push_back(bench + ": malformed timeline budget entry");
+      continue;
+    }
+    for (const auto& [key, want] : budget.object) {
+      if (!want.IsNumber()) {
+        violations.push_back(bench + ": malformed timeline budget for " +
+                             key);
+        continue;
+      }
+      uint64_t lo = static_cast<uint64_t>(want.number);
+      uint64_t got = TimelineKeyOf(*shape, key);
+      if (got != lo) {
+        violations.push_back(StrFormat(
+            "%s: %s = %llu, budget pins %llu", bench.c_str(), key.c_str(),
+            static_cast<unsigned long long>(got),
+            static_cast<unsigned long long>(lo)));
+        drifts.push_back(Drift{bench, key, lo, lo, got});
+      }
+    }
+  }
+  if (!violations.empty()) {
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "flextrace_check: FAIL %s\n", v.c_str());
+    }
+    if (!drifts.empty()) {
+      std::fprintf(stderr, "\n--- %s (budget)\n+++ %s (observed)\n",
+                   opts.budgets_path.c_str(), opts.dir.c_str());
+      std::string current_bench;
+      for (const Drift& d : drifts) {
+        if (d.bench != current_bench) {
+          current_bench = d.bench;
+          std::fprintf(stderr, "@@ timeline %s @@\n", d.bench.c_str());
+        }
+        std::fprintf(stderr, "-  \"%s\": %llu\n", d.key.c_str(),
+                     static_cast<unsigned long long>(d.want_lo));
+        std::fprintf(stderr, "+  \"%s\": %llu\n", d.key.c_str(),
+                     static_cast<unsigned long long>(d.got));
+      }
+    }
+    std::fprintf(stderr,
+                 "\nflextrace_check: %zu violation(s). If the change is "
+                 "intentional, regenerate the timeline budgets with:\n"
+                 "  %s --timeline --budgets=%s --dir=%s --update\n",
+                 violations.size(), opts.argv0.c_str(),
+                 opts.budgets_path.c_str(), opts.dir.c_str());
+    return 1;
+  }
+  std::printf("flextrace_check: %zu timeline(s) within budget\n",
+              benches->object.size());
+  return 0;
 }
 
 int Run(const Options& opts) {
@@ -386,15 +556,17 @@ int main(int argc, char** argv) {
       opts.dir = arg + 6;
     } else if (std::strcmp(arg, "--update") == 0) {
       opts.update = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      opts.timeline = true;
     } else {
       std::fprintf(stderr,
-                   "usage: flextrace_check --budgets=FILE [--dir=DIR] "
-                   "[--update]\n");
+                   "usage: flextrace_check [--timeline] --budgets=FILE "
+                   "[--dir=DIR] [--update]\n");
       return 1;
     }
   }
   if (opts.budgets_path.empty()) {
     return flexrpc::Fail("--budgets= is required");
   }
-  return flexrpc::Run(opts);
+  return opts.timeline ? flexrpc::RunTimeline(opts) : flexrpc::Run(opts);
 }

@@ -1,0 +1,103 @@
+// flexwatch_report — render a flexwatch timeline as a saturation report.
+//
+// Usage:
+//   flexwatch_report <timeline.json> [--limit=N]
+//   flexwatch_report --diff <a.json> <b.json> [--limit=N]
+//
+// Reads a flexrpc-timeline-v1 artifact (TIMELINE_<bench>.json, emitted by
+// the benches under --record --json_dir=...) and prints the per-window
+// p50/p99 ribbon, the detected saturation-onset window (first sustained
+// queue-growth window), and the per-connection / per-worker / per-replica
+// latency attribution. --diff compares two timelines run over run:
+// onset agreement, counter-total deltas, and the shared-prefix p99 ribbon
+// delta. --limit caps window rows (default 64, 0 = all).
+//
+// Exit code 0 on success, 1 on unreadable or malformed input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/flexwatch.h"
+#include "src/support/timeline.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flexwatch_report <timeline.json> [--limit=N]\n"
+               "       flexwatch_report --diff <a.json> <b.json> "
+               "[--limit=N]\n");
+  return 1;
+}
+
+bool LoadTimeline(const char* path, flexrpc::Timeline* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "flexwatch_report: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto timeline = flexrpc::ParseTimeline(buffer.str());
+  if (!timeline.ok()) {
+    std::fprintf(stderr, "flexwatch_report: %s: %s\n", path,
+                 timeline.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*timeline);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool diff = false;
+  size_t limit = 64;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--diff") == 0) {
+      diff = true;
+    } else if (std::strncmp(arg, "--limit=", 8) == 0) {
+      limit = static_cast<size_t>(std::strtoull(arg + 8, nullptr, 10));
+      if (limit == 0) {
+        limit = static_cast<size_t>(-1);
+      }
+    } else if (arg[0] != '-') {
+      paths.push_back(arg);
+    } else {
+      return Usage();
+    }
+  }
+
+  if (diff) {
+    if (paths.size() != 2) {
+      return Usage();
+    }
+    flexrpc::Timeline a;
+    flexrpc::Timeline b;
+    if (!LoadTimeline(paths[0], &a) || !LoadTimeline(paths[1], &b)) {
+      return 1;
+    }
+    std::string report = flexrpc::DiffTimelines(a, b, limit);
+    std::fputs(report.c_str(), stdout);
+    return 0;
+  }
+
+  if (paths.size() != 1) {
+    return Usage();
+  }
+  flexrpc::Timeline timeline;
+  if (!LoadTimeline(paths[0], &timeline)) {
+    return 1;
+  }
+  flexrpc::WatchAnalysis analysis = flexrpc::AnalyzeTimeline(timeline);
+  std::string report = flexrpc::RenderWatchReport(analysis, limit);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}
